@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures/examples (asserting
+the reproduced shape) while timing the pipeline stage it exercises; the
+scaling/ablation benchmarks sweep the synthetic workloads of
+``repro.scenarios.synthetic``.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import MappingProblem, MappingSystem
+from repro.core.schema_mapping import BASIC, NOVEL
+
+
+def fresh_system(problem: MappingProblem, algorithm: str = NOVEL) -> MappingSystem:
+    return MappingSystem(problem, algorithm=algorithm)
+
+
+def run_pipeline(problem_factory, source, algorithm=NOVEL):
+    """Build the pipeline from scratch and transform: the full-cost path."""
+    system = MappingSystem(problem_factory(), algorithm=algorithm)
+    return system.transform(source)
+
+
+@pytest.fixture
+def cars3_source():
+    from repro.scenarios.cars import cars3_source_instance
+
+    return cars3_source_instance()

@@ -1,0 +1,43 @@
+"""Appendix A: the ten nullable-attribute micro-scenarios."""
+
+import pytest
+
+from repro.core.pipeline import MappingSystem
+from repro.model.instance import instance_from_dict
+from repro.model.validation import validate_instance
+from repro.model.values import NULL
+from repro.scenarios.appendix_a import ALL_EXAMPLES, EXPECTED_MAPPINGS
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXAMPLES))
+def test_appendix_a_pipeline(benchmark, name):
+    problem_factory = ALL_EXAMPLES[name]
+
+    def run():
+        return MappingSystem(problem_factory()).schema_mapping
+
+    schema_mapping = benchmark(run)
+    benchmark.extra_info["mappings"] = len(schema_mapping)
+    benchmark.extra_info["expected"] = EXPECTED_MAPPINGS[name]
+    assert len(schema_mapping) == EXPECTED_MAPPINGS[name]
+
+
+def test_appendix_a_transformations_valid(benchmark):
+    """All ten desired transformations, on mixed null/non-null data."""
+
+    def run():
+        outputs = {}
+        for name, factory in ALL_EXAMPLES.items():
+            problem = factory()
+            system = MappingSystem(problem)
+            ps = problem.source_schema.relation("Ps")
+            rows = [("p1", "n1", "e1")[: ps.arity], ("p2", "n2", "e2")[: ps.arity]]
+            if ps.has_attribute("email") and ps.is_nullable("email"):
+                rows.append(("p3", "n3", NULL))
+            source = instance_from_dict(problem.source_schema, {"Ps": rows})
+            outputs[name] = system.transform(source)
+        return outputs
+
+    outputs = benchmark(run)
+    for name, output in outputs.items():
+        assert validate_instance(output).ok, name

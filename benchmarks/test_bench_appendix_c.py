@@ -1,0 +1,90 @@
+"""Appendix C: Examples C.1–C.4 (Figures 10–15)."""
+
+from repro.core.pipeline import MappingSystem
+from repro.model.instance import instance_from_dict
+from repro.model.validation import validate_instance
+from repro.model.values import is_labeled_null
+from repro.scenarios import cars
+from repro.scenarios.appendix_c import example_c4_problem
+
+
+def test_c1_figure11(benchmark, cars3_source):
+    """C.1: CARS3 -> CARS2a, a mandatory owner invented only when needed."""
+
+    def run():
+        return MappingSystem(cars.figure10_problem()).transform(cars3_source)
+
+    output = benchmark(run)
+    assert validate_instance(output).ok
+    assert len(output.relation("P2a")) == 3  # 2 real + 1 invented (Figure 11)
+    owners = {row[0]: row[2] for row in output.relation("C2a")}
+    assert owners["c85"] == "p22"
+    assert is_labeled_null(owners["c86"])
+
+
+def test_c1_program_shape(benchmark):
+    def run():
+        return MappingSystem(cars.figure10_problem()).transformation
+
+    program = benchmark(run)
+    heads = sorted(r.head_relation for r in program.rules)
+    # C.1's program: P2a x2 (copy + invented person), C2a x2, OCtmp; the
+    # subsumed P2a <- O3,C3,P3 rule is optimized away.
+    assert heads == ["C2a", "C2a", "OCtmp", "P2a", "P2a"]
+    nested = [
+        t
+        for r in program.rules
+        for t in r.head.terms
+        if repr(t).count("(") >= 2
+    ]
+    assert nested  # the paper's nested f_n(f_p(c)) Skolem terms
+
+
+def test_c2_figure13(benchmark):
+    source = cars.figure13_source_instance()
+
+    def run():
+        return MappingSystem(cars.figure12_problem()).transform(source)
+
+    output = benchmark(run)
+    assert output == cars.figure13_expected_target()
+
+
+def test_c3_figure15(benchmark):
+    source = cars.figure15_source_instance()
+
+    def run():
+        return MappingSystem(cars.figure14_problem()).transform(source)
+
+    output = benchmark(run)
+    assert output == cars.figure15_expected_target()
+
+
+def test_c4_resolution(benchmark):
+    problem = example_c4_problem()
+    source = instance_from_dict(
+        problem.source_schema,
+        {
+            "S1": [(f"k{i}", f"a{i}", f"b{i}", f"c{i}") for i in range(8)],
+            "S2": [(f"k{i}", f"x{i}", f"y{i}", f"z{i}") for i in range(4, 12)],
+            "S3": [(f"k{i}", f"q{i}", f"r{i}", f"s{i}") for i in range(0, 12, 3)],
+        },
+    )
+
+    def run():
+        return MappingSystem(example_c4_problem()).transform(source)
+
+    output = benchmark(run)
+    assert validate_instance(output).ok
+    assert len(output.relation("T")) == 12  # one tuple per key, fused correctly
+
+
+def test_c4_program_shape(benchmark):
+    def run():
+        return MappingSystem(example_c4_problem()).transformation
+
+    program = benchmark(run)
+    t_rules = program.rules_for("T")
+    # 3 rewritten originals + 4 fused mappings (C.4's seven T-rules).
+    assert len(t_rules) == 7
+    assert len(program.intermediates) == 3

@@ -1,0 +1,70 @@
+"""Example 5.1 and chase scaling: logical relation generation cost."""
+
+import pytest
+
+from repro.core.chase import MODIFIED, STANDARD, logical_relations
+from repro.scenarios.cars import cars2_schema, cars3_schema
+from repro.scenarios.synthetic import chain_schema, wide_problem
+
+
+def test_example_5_1_modified_chase(benchmark):
+    schema = cars2_schema()
+
+    def run():
+        return logical_relations(schema, mode=MODIFIED)
+
+    tableaux = benchmark(run)
+    # Example 5.1: P2 | C2 (p = null) | C2, P2 (p != null).
+    shapes = [
+        (tuple(a.relation for a in t), len(t.null_vars), len(t.nonnull_vars))
+        for t in tableaux
+    ]
+    assert shapes == [
+        (("P2",), 0, 0),
+        (("C2",), 1, 0),
+        (("C2", "P2"), 0, 1),
+    ]
+
+
+def test_standard_chase_cars3(benchmark):
+    schema = cars3_schema()
+
+    def run():
+        return logical_relations(schema, mode=STANDARD)
+
+    tableaux = benchmark(run)
+    assert [tuple(a.relation for a in t) for t in tableaux] == [
+        ("P3",),
+        ("C3",),
+        ("O3", "C3", "P3"),
+    ]
+
+
+@pytest.mark.parametrize("depth", [2, 4, 6, 8])
+def test_chain_chase_scaling(benchmark, depth):
+    """Deep nullable FK chains: one tableau per prefix."""
+    schema = chain_schema(depth, nullable_links=True)
+
+    def run():
+        return logical_relations(schema, mode=MODIFIED)
+
+    tableaux = benchmark(run)
+    benchmark.extra_info["depth"] = depth
+    benchmark.extra_info["tableaux"] = len(tableaux)
+    root = [t for t in tableaux if t.root_relation == "R0"]
+    assert len(root) == depth + 1
+
+
+@pytest.mark.parametrize("n_nullable", [2, 4, 6, 8])
+def test_wide_chase_scaling(benchmark, n_nullable):
+    """2**n partial tableaux from n nullable attributes in one relation."""
+    problem = wide_problem(n_nullable)
+    schema = problem.target_schema
+
+    def run():
+        return logical_relations(schema, mode=MODIFIED)
+
+    tableaux = benchmark(run)
+    benchmark.extra_info["n_nullable"] = n_nullable
+    benchmark.extra_info["tableaux"] = len(tableaux)
+    assert len(tableaux) == 2**n_nullable

@@ -1,0 +1,106 @@
+"""Benchmarks for the extension components: composite keys, matching,
+certain answers, transformation analysis."""
+
+from repro.core.matching import suggest_correspondences
+from repro.core.pipeline import MappingSystem
+from repro.exchange.analysis import analyze_transformation
+from repro.exchange.queries import certain_answers, query
+from repro.logic.atoms import RelationalAtom
+from repro.logic.terms import Variable
+from repro.scenarios import cars
+from repro.scenarios.composite import (
+    enrollment_expected_target,
+    enrollment_problem,
+    enrollment_source_instance,
+)
+from repro.scenarios.synthetic import cars3_instance
+
+
+def test_composite_key_consolidation(benchmark):
+    source = enrollment_source_instance()
+
+    def run():
+        return MappingSystem(enrollment_problem()).transform(source)
+
+    output = benchmark(run)
+    assert output == enrollment_expected_target()
+
+
+def test_matcher_on_cars_schemas(benchmark):
+    from repro.scenarios.cars import cars2_schema, cars3_schema
+
+    source, target = cars3_schema(), cars2_schema()
+
+    def run():
+        return suggest_correspondences(source, target)
+
+    suggestions = benchmark(run)
+    matched_targets = {repr(s.correspondence.target) for s in suggestions}
+    assert {"P2.person", "P2.name", "P2.email", "C2.car", "C2.model"} <= matched_targets
+
+
+def test_certain_answers_scaling(benchmark):
+    system = MappingSystem(cars.figure1_problem())
+    source = cars3_instance(n_persons=300, n_cars=600, seed=5)
+    output = system.transform(source)
+    c, m, p, n, e = (Variable(x) for x in "cmpne")
+    owners = query(
+        [c, n],
+        RelationalAtom("C2", (c, m, p)),
+        RelationalAtom("P2", (p, n, e)),
+    )
+
+    def run():
+        return certain_answers(owners, output)
+
+    answers = benchmark(run)
+    assert len(answers) == len(source.relation("O3"))
+
+
+def test_transformation_analysis(benchmark, cars3_source):
+    system = MappingSystem(cars.figure1_problem())
+
+    def run():
+        return analyze_transformation(system, cars3_source)
+
+    analysis = benchmark(run)
+    assert analysis.is_canonical_null_policy
+    assert analysis.is_universal
+
+
+def test_publications_consolidation(benchmark):
+    from repro.scenarios.publications import (
+        digest_expected_target,
+        digest_problem,
+        pubs_source_instance,
+    )
+
+    source = pubs_source_instance()
+
+    def run():
+        return MappingSystem(digest_problem()).transform(source)
+
+    output = benchmark(run)
+    assert output == digest_expected_target()
+
+
+def test_filtered_correspondence_pipeline(benchmark):
+    from repro.core.pipeline import MappingProblem
+    from repro.model.builder import SchemaBuilder
+    from repro.model.instance import instance_from_dict
+
+    source_schema = SchemaBuilder("s").relation("Emp", "id", "name", "dept").build()
+    target_schema = SchemaBuilder("t").relation("ItStaff", "id", "name").build()
+    source = instance_from_dict(
+        source_schema,
+        {"Emp": [(f"e{i}", f"name{i}", "it" if i % 3 else "hr") for i in range(300)]},
+    )
+
+    def run():
+        problem = MappingProblem(source_schema, target_schema)
+        problem.add_correspondence("Emp.id", "ItStaff.id")
+        problem.add_correspondence("Emp.name", "ItStaff.name", where="Emp.dept = 'it'")
+        return MappingSystem(problem).transform(source)
+
+    output = benchmark(run)
+    assert len(output.relation("ItStaff")) == 200

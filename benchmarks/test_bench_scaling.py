@@ -1,0 +1,91 @@
+"""Scaling: basic vs novel pipelines on synthetic CARS instances.
+
+The paper reports no measurements; these benchmarks characterize the
+implementation: transformation runtime against instance size, and the
+quality gap (target size, invented values, key violations) that the novel
+algorithms eliminate at every scale.
+"""
+
+import pytest
+
+from repro.core.pipeline import MappingSystem
+from repro.core.schema_mapping import BASIC, NOVEL
+from repro.exchange.metrics import measure_instance
+from repro.scenarios.cars import figure1_problem, figure12_problem, figure14_problem
+from repro.scenarios.synthetic import cars2_instance, cars3_instance, cars4_instance
+
+SIZES = [100, 400, 1600]
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("algorithm", [BASIC, NOVEL])
+def test_figure1_transform_scaling(benchmark, size, algorithm):
+    system = MappingSystem(figure1_problem(), algorithm=algorithm)
+    system.transformation  # exclude generation from the timing
+    source = cars3_instance(n_persons=size // 2, n_cars=size, ownership=0.6, seed=size)
+
+    def run():
+        return system.transform(source)
+
+    output = benchmark(run)
+    metrics = measure_instance(output)
+    benchmark.extra_info.update(
+        {
+            "source_tuples": source.total_size(),
+            "target_tuples": metrics.total_tuples,
+            "invented": metrics.distinct_invented,
+            "key_violations": metrics.key_violations,
+        }
+    )
+    if algorithm == NOVEL:
+        assert metrics.ok
+        assert metrics.distinct_invented == 0
+    else:
+        # The basic pipeline invents an owner/person pair per car and
+        # violates the key for every owned car.
+        assert metrics.distinct_invented == 3 * size
+        assert metrics.key_violations > 0
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_figure12_owner_driver_scaling(benchmark, size):
+    system = MappingSystem(figure12_problem())
+    system.transformation
+    source = cars4_instance(n_persons=size // 2, n_cars=size, seed=size)
+
+    def run():
+        return system.transform(source)
+
+    output = benchmark(run)
+    metrics = measure_instance(output)
+    benchmark.extra_info["target_tuples"] = metrics.total_tuples
+    assert metrics.ok
+    assert metrics.total_tuples == size  # exactly one tuple per car
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_figure14_nullable_source_scaling(benchmark, size):
+    system = MappingSystem(figure14_problem())
+    system.transformation
+    source = cars2_instance(n_persons=size // 2, n_cars=size, seed=size)
+
+    def run():
+        return system.transform(source)
+
+    output = benchmark(run)
+    assert measure_instance(output).ok
+    owned = sum(
+        1 for row in source.relation("C2") if not repr(row[2]) == "null"
+    )
+    assert len(output.relation("O3")) == owned
+
+
+def test_generation_cost_is_data_independent(benchmark):
+    """Pipeline generation runs once, independent of instance size."""
+
+    def run():
+        system = MappingSystem(figure1_problem())
+        return system.transformation
+
+    program = benchmark(run)
+    assert len(program.rules) == 4

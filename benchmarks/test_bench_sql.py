@@ -1,0 +1,48 @@
+"""SQL backend: SQLite execution vs the built-in Datalog engine."""
+
+import pytest
+
+from repro.core.pipeline import MappingSystem
+from repro.scenarios.cars import figure1_problem
+from repro.scenarios.synthetic import cars3_instance
+from repro.sqlgen import run_on_sqlite
+
+
+@pytest.mark.parametrize("size", [100, 400, 1600])
+def test_sqlite_execution_scaling(benchmark, size):
+    system = MappingSystem(figure1_problem())
+    program = system.transformation
+    source = cars3_instance(n_persons=size // 2, n_cars=size, seed=size)
+    expected = system.transform(source)
+
+    def run():
+        return run_on_sqlite(program, source)
+
+    output = benchmark(run)
+    benchmark.extra_info["source_tuples"] = source.total_size()
+    assert output == expected
+
+
+def test_sqlite_with_enforced_constraints(benchmark):
+    system = MappingSystem(figure1_problem())
+    program = system.transformation
+    source = cars3_instance(n_persons=200, n_cars=400, seed=17)
+    expected = system.transform(source)
+
+    def run():
+        return run_on_sqlite(program, source, enforce_constraints=True)
+
+    output = benchmark(run)
+    assert output == expected
+
+
+def test_engine_execution_baseline(benchmark):
+    system = MappingSystem(figure1_problem())
+    system.transformation
+    source = cars3_instance(n_persons=200, n_cars=400, seed=17)
+
+    def run():
+        return system.transform(source)
+
+    output = benchmark(run)
+    assert output.total_size() > 0

@@ -1,0 +1,110 @@
+"""repro — a relational mapping system with keys, foreign keys and nullable attributes.
+
+A faithful, from-scratch implementation of Luca Cabibbo's EDBT 2009 paper
+"On Keys, Foreign Keys and Nullable Attributes in Relational Mapping
+Systems" (extended technical report RT-DIA-138-2008): given a source schema,
+a target schema and a set of (referenced-attribute) value correspondences,
+generate a declarative schema mapping (source-to-target tgds) and an
+executable transformation (non-recursive Datalog with Skolem functors and
+safe stratified negation), managing primary keys, foreign keys and nullable
+attributes comprehensively.
+
+Quickstart::
+
+    from repro import SchemaBuilder, MappingProblem, MappingSystem
+
+    source = (SchemaBuilder("S").relation("P", "person", "name").build())
+    target = (SchemaBuilder("T").relation("Q", "person", "name").build())
+    problem = MappingProblem(source, target)
+    problem.add_correspondence("P.person", "Q.person")
+    problem.add_correspondence("P.name", "Q.name")
+    system = MappingSystem(problem)
+    print(system.schema_mapping)
+    print(system.transformation)
+"""
+
+from .core import (
+    ALL_SOURCE_OR_KEY_VARS,
+    Filter,
+    check_round_trip,
+    reverse_problem,
+    suggest_correspondences,
+    ALL_SOURCE_VARS,
+    BASIC,
+    NOVEL,
+    SOURCE_AND_RHS_VARS,
+    SOURCE_HERE_AND_REF_VARS,
+    Correspondence,
+    MappingProblem,
+    MappingSystem,
+    ReferencedAttribute,
+    correspondence,
+    correspondences,
+    generate_queries,
+    generate_schema_mapping,
+    logical_relations,
+)
+from .datalog import DatalogProgram, Rule, evaluate
+from .errors import (
+    HardKeyConflictError,
+    NonFunctionalMappingError,
+    ReproError,
+    WeakAcyclicityError,
+)
+from .exchange import analyze_transformation, certain_answers
+from .model import (
+    NULL,
+    diff_instances,
+    Attribute,
+    ForeignKey,
+    Instance,
+    LabeledNull,
+    RelationSchema,
+    Schema,
+    SchemaBuilder,
+    validate_instance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_SOURCE_OR_KEY_VARS",
+    "ALL_SOURCE_VARS",
+    "Attribute",
+    "BASIC",
+    "Correspondence",
+    "DatalogProgram",
+    "Filter",
+    "ForeignKey",
+    "HardKeyConflictError",
+    "Instance",
+    "LabeledNull",
+    "MappingProblem",
+    "MappingSystem",
+    "NOVEL",
+    "NULL",
+    "NonFunctionalMappingError",
+    "ReferencedAttribute",
+    "RelationSchema",
+    "ReproError",
+    "Rule",
+    "SOURCE_AND_RHS_VARS",
+    "SOURCE_HERE_AND_REF_VARS",
+    "Schema",
+    "SchemaBuilder",
+    "WeakAcyclicityError",
+    "correspondence",
+    "correspondences",
+    "analyze_transformation",
+    "certain_answers",
+    "check_round_trip",
+    "diff_instances",
+    "evaluate",
+    "generate_queries",
+    "reverse_problem",
+    "suggest_correspondences",
+    "generate_schema_mapping",
+    "logical_relations",
+    "validate_instance",
+    "__version__",
+]

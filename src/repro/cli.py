@@ -1,0 +1,223 @@
+"""Command-line interface: compile, run, explain and match mapping problems.
+
+Usage (after installation, via ``python -m repro``):
+
+* ``python -m repro compile problem.txt`` — print the schema mapping and the
+  generated transformation (``--sql`` for the SQL translation, ``--algorithm
+  basic`` for the Clio-style baseline);
+* ``python -m repro run problem.txt instance.txt`` — execute the
+  transformation on an instance (``--engine sqlite`` runs on SQLite,
+  ``--enforce`` with real constraints; ``--validate`` prints the target
+  constraint report);
+* ``python -m repro explain problem.txt`` — the full audit trail: logical
+  relations, candidates, prune log, key conflicts, resolution;
+* ``python -m repro match source.txt target.txt`` — suggest correspondences
+  between two bare schemas and print a ready-to-edit problem file;
+* ``python -m repro query problem.txt instance.txt "(c, n) <- C2(c,m,p), P2(p,n,e)"``
+  — transform, then answer a conjunctive query over the target
+  (``--certain`` for certain answers);
+* ``python -m repro reproduce`` — re-run every figure/example of the paper
+  and print the paper-vs-measured verdict table.
+
+Problem files use the text DSL of :mod:`repro.dsl.parser`, or JSON
+(``.json``) as produced by :mod:`repro.dsl.jsonio`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.matching import suggest_correspondences
+from .core.pipeline import MappingProblem, MappingSystem
+from .core.schema_mapping import BASIC, NOVEL
+from .dsl.jsonio import load_problem
+from .dsl.parser import parse_instance, parse_problem, parse_schema
+from .dsl.renderer import render_program, render_schema, render_schema_mapping
+from .dsl.report import explain
+from .errors import ReproError
+from .model.validation import validate_instance
+from .sqlgen.executor import SqliteExecutor
+from .sqlgen.queries import program_to_sql
+
+
+def _load_problem(path: str) -> MappingProblem:
+    if path.endswith(".json"):
+        return load_problem(path)
+    with open(path) as handle:
+        return parse_problem(handle.read(), name=path)
+
+
+def _system(args) -> MappingSystem:
+    problem = _load_problem(args.problem)
+    return MappingSystem(problem, algorithm=args.algorithm, optimize=not args.no_optimize)
+
+
+def cmd_compile(args) -> int:
+    system = _system(args)
+    print("# schema mapping")
+    print(render_schema_mapping(system.schema_mapping, shorten=not args.long_names))
+    print()
+    if args.sql:
+        print("# SQL transformation")
+        for statement in program_to_sql(system.transformation):
+            print(statement + ";")
+    else:
+        print("# transformation (non-recursive Datalog)")
+        print(render_program(system.transformation, shorten=not args.long_names))
+    return 0
+
+
+def cmd_run(args) -> int:
+    system = _system(args)
+    with open(args.instance) as handle:
+        source = parse_instance(handle.read(), system.problem.source_schema)
+    if args.engine == "sqlite":
+        executor = SqliteExecutor(enforce_constraints=args.enforce)
+        target = executor.run(system.transformation, source)
+    else:
+        target = system.transform(source)
+    print(target.to_text())
+    if args.validate:
+        print()
+        print("validation:", validate_instance(target).summary())
+    return 0
+
+
+def cmd_explain(args) -> int:
+    print(explain(_system(args)))
+    return 0
+
+
+def cmd_query(args) -> int:
+    from .exchange.queries import certain_answers, evaluate_query, parse_query
+    from .model.values import format_value
+
+    system = _system(args)
+    with open(args.instance) as handle:
+        source = parse_instance(handle.read(), system.problem.source_schema)
+    target = system.transform(source)
+    query = parse_query(args.query)
+    answers = (
+        certain_answers(query, target)
+        if args.certain
+        else evaluate_query(query, target)
+    )
+    for row in sorted(answers, key=repr):
+        print("(" + ", ".join(format_value(v) for v in row) + ")")
+    print(f"-- {len(answers)} answer(s)" + (" (certain)" if args.certain else ""))
+    return 0
+
+
+def cmd_reproduce(_args) -> int:
+    from .reproduce import render_reproduction_table, reproduce_all
+
+    results = reproduce_all()
+    print(render_reproduction_table(results))
+    return 1 if any(r.verdict == "FAIL" for r in results) else 0
+
+
+def cmd_match(args) -> int:
+    with open(args.source) as handle:
+        source = parse_schema(handle.read(), name="source")
+    with open(args.target) as handle:
+        target = parse_schema(handle.read(), name="target")
+    suggestions = suggest_correspondences(source, target, threshold=args.threshold)
+    print("source schema SRC:")
+    for line in render_schema(source).splitlines():
+        print(f"  {line}")
+    print()
+    print("target schema TGT:")
+    for line in render_schema(target).splitlines():
+        print(f"  {line}")
+    print()
+    print("correspondences:")
+    for suggestion in suggestions:
+        c = suggestion.correspondence
+        print(f"  {c.source!r} -> {c.target!r}  # score {suggestion.score:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Relational mapping system with keys, foreign keys and "
+        "nullable attributes (Cabibbo, EDBT 2009).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("problem", help="problem file (.txt DSL or .json)")
+        p.add_argument(
+            "--algorithm", choices=[BASIC, NOVEL], default=NOVEL,
+            help="basic = Clio-style Algorithms 1+2; novel = the paper's 3+4",
+        )
+        p.add_argument("--no-optimize", action="store_true",
+                       help="keep subsumed Datalog rules")
+
+    compile_parser = sub.add_parser("compile", help="generate mapping + queries")
+    common(compile_parser)
+    compile_parser.add_argument("--sql", action="store_true",
+                                help="emit the SQL translation instead of Datalog")
+    compile_parser.add_argument("--long-names", action="store_true",
+                                help="keep full Skolem functor names")
+    compile_parser.set_defaults(func=cmd_compile)
+
+    run_parser = sub.add_parser("run", help="execute the transformation")
+    common(run_parser)
+    run_parser.add_argument("instance", help="source instance file (DSL)")
+    run_parser.add_argument("--engine", choices=["datalog", "sqlite"],
+                            default="datalog")
+    run_parser.add_argument("--enforce", action="store_true",
+                            help="enforce PK/FK/NOT NULL on SQLite")
+    run_parser.add_argument("--validate", action="store_true",
+                            help="report target constraint violations")
+    run_parser.set_defaults(func=cmd_run)
+
+    explain_parser = sub.add_parser("explain", help="audit the generation run")
+    common(explain_parser)
+    explain_parser.set_defaults(func=cmd_explain)
+
+    query_parser = sub.add_parser(
+        "query", help="run a conjunctive query over the transformed target"
+    )
+    common(query_parser)
+    query_parser.add_argument("instance", help="source instance file (DSL)")
+    query_parser.add_argument(
+        "query", help="e.g. \"(c, n) <- C2(c, m, p), P2(p, n, e)\""
+    )
+    query_parser.add_argument(
+        "--certain", action="store_true",
+        help="certain answers only (drop answers with invented values)",
+    )
+    query_parser.set_defaults(func=cmd_query)
+
+    reproduce_parser = sub.add_parser(
+        "reproduce", help="re-run every paper figure and print the verdicts"
+    )
+    reproduce_parser.set_defaults(func=cmd_reproduce)
+
+    match_parser = sub.add_parser("match", help="suggest correspondences")
+    match_parser.add_argument("source", help="source schema file (DSL)")
+    match_parser.add_argument("target", help="target schema file (DSL)")
+    match_parser.add_argument("--threshold", type=float, default=0.55)
+    match_parser.set_defaults(func=cmd_match)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""Bidirectional mappings: reverse problems and round-trip checks.
+
+The paper's future work (section 8) aims at "an executable mapping as a set
+of bidirectional views (query views and update views)".  This module
+implements the relational slice of that idea:
+
+* :func:`reverse_problem` flips a mapping problem — every plain attribute
+  correspondence ``(S.A, T.B)`` becomes ``(T.B, S.A)``.  Referenced-attribute
+  correspondences and filters cannot be flipped (their semantics is a join /
+  selection on the *source* side), so problems using them are rejected;
+* :func:`check_round_trip` runs the forward transformation and the reverse
+  transformation and reports whether the original source instance is
+  restored — which holds exactly when the mapping loses no information
+  (e.g. CARS2 ⇄ CARS3: Figure 14 forward, Figure 1 backward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MappingGenerationError
+from ..model.diff import InstanceDiff, diff_instances
+from ..model.instance import Instance
+from .correspondences import Correspondence
+from .pipeline import MappingProblem, MappingSystem
+
+
+def reverse_problem(problem: MappingProblem) -> MappingProblem:
+    """The problem with source and target swapped and correspondences flipped.
+
+    Raises :class:`MappingGenerationError` when a correspondence cannot be
+    reversed (referenced-attribute paths and filters are source-side
+    constructs with no target-side counterpart in the paper's framework).
+    """
+    reversed_problem = MappingProblem(
+        problem.target_schema,
+        problem.source_schema,
+        name=f"{problem.name}-reverse",
+    )
+    for correspondence in problem.correspondences:
+        if not correspondence.source.is_plain or not correspondence.target.is_plain:
+            raise MappingGenerationError(
+                f"cannot reverse referenced-attribute correspondence "
+                f"{correspondence!r}: foreign-key paths are source-side only"
+            )
+        if correspondence.filters:
+            raise MappingGenerationError(
+                f"cannot reverse filtered correspondence {correspondence!r}"
+            )
+        flipped = Correspondence(
+            correspondence.target,
+            correspondence.source,
+            label=correspondence.label and f"{correspondence.label}^-1",
+        )
+        flipped.validate(reversed_problem.source_schema, reversed_problem.target_schema)
+        reversed_problem.correspondences.append(flipped)
+    return reversed_problem
+
+
+@dataclass
+class RoundTripReport:
+    """The outcome of source → target → source."""
+
+    forward: Instance
+    back: Instance
+    diff: InstanceDiff
+
+    @property
+    def restored(self) -> bool:
+        """True iff the round trip reproduced the original source exactly."""
+        return self.diff.empty
+
+    def summary(self) -> str:
+        if self.restored:
+            return "round trip restores the source exactly (lossless mapping)"
+        return (
+            f"round trip loses information: {len(self.diff)} tuple(s) differ in "
+            f"{', '.join(self.diff.changed_relations())}"
+        )
+
+
+def check_round_trip(
+    problem: MappingProblem,
+    source: Instance,
+    algorithm: str = "novel",
+) -> RoundTripReport:
+    """Transform forward, transform back, and diff against the original."""
+    forward_system = MappingSystem(problem, algorithm=algorithm)
+    backward_system = MappingSystem(reverse_problem(problem), algorithm=algorithm)
+    forward = forward_system.transform(source)
+    back = backward_system.transform(forward)
+    return RoundTripReport(
+        forward=forward,
+        back=back,
+        diff=diff_instances(source, back),
+    )

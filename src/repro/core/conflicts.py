@@ -1,0 +1,160 @@
+"""Key-conflict identification between unitary logical mappings (Algorithm 4).
+
+Two unitary mappings over the same target relation ``R`` are *key
+conflicting* over a non-key attribute ``v`` when they can generate two
+tuples with the same key but different ``v`` values:
+``φ(k, v) ∧ φ'(k', v') ∧ k = k' ∧ v ≠ v'`` is satisfiable.
+
+Each side contributes a *kind* for ``v`` — ``c`` (copies a source value),
+``n`` (a null), ``i`` (invents a value via a Skolem functor) — and the
+paper's resolution strategy prefers ``c ≻ n ≻ i``:
+
+* ``c`` vs ``c`` — a **hard** conflict: two source values may compete;
+* mixed kinds — a **soft** conflict, the higher kind preferred;
+* ``i`` vs ``i`` — equally preferable; resolved by unifying the functors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic.mappings import UnitaryMapping
+from ..logic.satisfiability import check_equal_and_differ
+from ..logic.terms import Constant, NullTerm, SkolemTerm, Term, Variable
+from ..model.schema import Schema
+from .functionality import rename_unitary
+
+COPY = "c"
+NULL_KIND = "n"
+INVENT = "i"
+
+_KIND_RANK = {COPY: 2, NULL_KIND: 1, INVENT: 0}
+
+
+def term_kind(term: Term) -> str:
+    """Classify a consequent term: copy / null / invent."""
+    if isinstance(term, NullTerm):
+        return NULL_KIND
+    if isinstance(term, SkolemTerm):
+        return INVENT
+    if isinstance(term, (Variable, Constant)):
+        return COPY
+    raise TypeError(f"unexpected consequent term {term!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class KeyConflict:
+    """A key conflict between two unitary mappings over one attribute."""
+
+    left: UnitaryMapping
+    right: UnitaryMapping
+    attribute: str
+    left_kind: str
+    right_kind: str
+
+    @property
+    def is_hard(self) -> bool:
+        return self.left_kind == COPY and self.right_kind == COPY
+
+    @property
+    def preferred(self) -> str:
+        """``"left"``, ``"right"`` or ``"equal"`` (two invented values)."""
+        left_rank = _KIND_RANK[self.left_kind]
+        right_rank = _KIND_RANK[self.right_kind]
+        if left_rank > right_rank:
+            return "left"
+        if right_rank > left_rank:
+            return "right"
+        return "equal"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.left.name or self.left.origin} {self.left_kind} vs "
+            f"{self.right.name or self.right.origin} {self.right_kind} "
+            f"on {self.left.consequent.relation}.{self.attribute}"
+        )
+
+
+def find_key_conflicts(
+    left: UnitaryMapping,
+    right: UnitaryMapping,
+    source_schema: Schema,
+    target_schema: Schema,
+) -> list[KeyConflict]:
+    """All key conflicts between two unitary mappings over the same relation.
+
+    The right-hand mapping is renamed apart first (the paper assumes
+    pairwise-disjoint variable sets), which also covers siblings sharing a
+    premise.
+    """
+    if left.consequent.relation != right.consequent.relation:
+        return []
+    renamed = rename_unitary(right)
+    relation = target_schema.relation(left.consequent.relation)
+    key_positions = relation.key_positions()
+
+    atoms = list(left.premise.atoms) + list(renamed.premise.atoms)
+    equalities: list[tuple[Term, Term]] = [
+        (left.consequent.terms[p], renamed.consequent.terms[p]) for p in key_positions
+    ]
+    for source in (left.premise, renamed.premise):
+        equalities.extend((e.left, e.right) for e in source.equalities)
+    null_terms = list(left.premise.null_vars) + list(renamed.premise.null_vars)
+    nonnull_terms = list(left.premise.nonnull_vars) + list(renamed.premise.nonnull_vars)
+    disequalities = [
+        (d.left, d.right)
+        for source in (left.premise, renamed.premise)
+        for d in source.disequalities
+    ]
+
+    conflicts: list[KeyConflict] = []
+    for position in range(relation.arity):
+        if position in key_positions:
+            continue
+        left_term = left.consequent.terms[position]
+        right_term = renamed.consequent.terms[position]
+        if check_equal_and_differ(
+            atoms,
+            source_schema,
+            equalities,
+            (left_term, right_term),
+            null_terms,
+            nonnull_terms,
+            disequalities=disequalities,
+        ):
+            conflicts.append(
+                KeyConflict(
+                    left=left,
+                    right=right,
+                    attribute=relation.attributes[position].name,
+                    left_kind=term_kind(left_term),
+                    right_kind=term_kind(right_term),
+                )
+            )
+    return conflicts
+
+
+def conflicting_sets(
+    mappings: list[UnitaryMapping],
+) -> dict[str, list[UnitaryMapping]]:
+    """Group unitary mappings by target relation (the paper's ``CS_R``)."""
+    groups: dict[str, list[UnitaryMapping]] = {}
+    for mapping in mappings:
+        groups.setdefault(mapping.consequent.relation, []).append(mapping)
+    return groups
+
+
+def find_all_conflicts(
+    mappings: list[UnitaryMapping],
+    source_schema: Schema,
+    target_schema: Schema,
+) -> list[KeyConflict]:
+    """All pairwise key conflicts inside every conflicting set."""
+    conflicts: list[KeyConflict] = []
+    for group in conflicting_sets(mappings).values():
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                conflicts.extend(
+                    find_key_conflicts(group[i], group[j], source_schema, target_schema)
+                )
+    return conflicts

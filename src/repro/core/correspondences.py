@@ -1,0 +1,207 @@
+"""Value correspondences: attribute and referenced-attribute correspondences.
+
+A traditional attribute correspondence (Clio) is a pair ``(R1.A1, R2.A2)`` of
+a source and a target attribute.  The paper's *referenced-attribute
+correspondences* (section 4) generalize both endpoints to *referenced
+attributes*: an attribute prefixed by a path of foreign keys, written
+``R1.A1 ▹ ... ▹ Rn.An`` where each ``Ri.Ai`` references the key of ``Ri+1``
+and the referenced attribute is the last one, ``Rn.An``.  A plain attribute
+is a referenced attribute with an empty prefix path.
+
+Textual syntax accepted by :func:`parse_referenced_attribute` uses ``>`` for
+the traversal symbol: ``"O3.person > P3.name"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CorrespondenceError
+from ..model.schema import Schema
+
+FILTER_OPERATORS = ("=", "!=")
+
+
+@dataclass(frozen=True)
+class ReferencedAttribute:
+    """``R1.A1 ▹ ... ▹ Rn.An``: an attribute reached through a path of FKs."""
+
+    steps: tuple[tuple[str, str], ...]  # (relation, attribute) pairs
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise CorrespondenceError("a referenced attribute needs at least one step")
+
+    @property
+    def relation(self) -> str:
+        """The relation of the referenced (last) attribute."""
+        return self.steps[-1][0]
+
+    @property
+    def attribute(self) -> str:
+        """The referenced (last) attribute."""
+        return self.steps[-1][1]
+
+    @property
+    def is_plain(self) -> bool:
+        """True iff the prefix path is empty (a traditional attribute)."""
+        return len(self.steps) == 1
+
+    def validate(self, schema: Schema) -> None:
+        """Check that every step exists and traverses a declared foreign key."""
+        for relation, attribute in self.steps:
+            if relation not in schema:
+                raise CorrespondenceError(f"{self}: unknown relation {relation!r}")
+            if not schema.relation(relation).has_attribute(attribute):
+                raise CorrespondenceError(
+                    f"{self}: relation {relation} has no attribute {attribute!r}"
+                )
+        for (relation, attribute), (next_relation, _next_attr) in zip(
+            self.steps, self.steps[1:]
+        ):
+            fk = schema.foreign_key_from(relation, attribute)
+            if fk is None or fk.referenced != next_relation:
+                raise CorrespondenceError(
+                    f"{self}: {relation}.{attribute} is not a foreign key into "
+                    f"{next_relation}"
+                )
+
+    def __repr__(self) -> str:
+        return " > ".join(f"{r}.{a}" for r, a in self.steps)
+
+
+def parse_referenced_attribute(text: str) -> ReferencedAttribute:
+    """Parse ``"R.A"`` or ``"R1.A1 > R2.A2 > ..."`` into a ReferencedAttribute."""
+    steps = []
+    for piece in text.split(">"):
+        piece = piece.strip()
+        if piece.count(".") != 1:
+            raise CorrespondenceError(
+                f"bad referenced-attribute step {piece!r}: expected 'Relation.attribute'"
+            )
+        relation, attribute = (p.strip() for p in piece.split("."))
+        if not relation or not attribute:
+            raise CorrespondenceError(f"bad referenced-attribute step {piece!r}")
+        steps.append((relation, attribute))
+    return ReferencedAttribute(tuple(steps))
+
+
+@dataclass(frozen=True)
+class Filter:
+    """A Clio-style filter: a comparison with a constant.
+
+    Filters constrain "attributes occurring in the same relation of the
+    filtered attribute and constants" (paper section 7); here the relation
+    may be any relation on the correspondence's source path.
+    """
+
+    relation: str
+    attribute: str
+    operator: str  # "=" or "!="
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.operator not in FILTER_OPERATORS:
+            raise CorrespondenceError(
+                f"unsupported filter operator {self.operator!r}; "
+                f"use one of {FILTER_OPERATORS}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{self.relation}.{self.attribute} {self.operator} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Correspondence:
+    """A value correspondence between a source and a target referenced attribute.
+
+    When both sides are plain attributes this is a traditional attribute
+    correspondence; referenced-attribute correspondences strictly generalize
+    them (paper section 4).  Optional Clio-style :class:`Filter` conditions
+    restrict the source tuples the correspondence applies to (section 7
+    discusses their expressiveness relative to r-a correspondences).
+    """
+
+    source: ReferencedAttribute
+    target: ReferencedAttribute
+    label: str = ""
+    filters: tuple[Filter, ...] = ()
+
+    @property
+    def is_plain(self) -> bool:
+        return self.source.is_plain and self.target.is_plain
+
+    def validate(self, source_schema: Schema, target_schema: Schema) -> None:
+        self.source.validate(source_schema)
+        self.target.validate(target_schema)
+        path_relations = {relation for relation, _attr in self.source.steps}
+        for item in self.filters:
+            if item.relation not in path_relations:
+                raise CorrespondenceError(
+                    f"filter {item!r}: relation {item.relation!r} is not on the "
+                    f"source path of {self.source!r}"
+                )
+            if not source_schema.relation(item.relation).has_attribute(item.attribute):
+                raise CorrespondenceError(
+                    f"filter {item!r}: {item.relation} has no attribute "
+                    f"{item.attribute!r}"
+                )
+
+    def __repr__(self) -> str:
+        name = f"{self.label}: " if self.label else ""
+        text = f"({name}{self.source!r} , {self.target!r})"
+        if self.filters:
+            text += " where " + " and ".join(repr(f) for f in self.filters)
+        return text
+
+
+def parse_filter(text: str) -> Filter:
+    """Parse ``"R.attr = 'value'"`` or ``"R.attr != 'value'"``."""
+    for operator in ("!=", "="):
+        if operator in text:
+            left, _, right = text.partition(operator)
+            left = left.strip()
+            right = right.strip()
+            if left.count(".") != 1:
+                raise CorrespondenceError(f"bad filter attribute {left!r}")
+            relation, attribute = (p.strip() for p in left.split("."))
+            if right.startswith("'") and right.endswith("'") and len(right) >= 2:
+                right = right[1:-1]
+            if not right:
+                raise CorrespondenceError(f"empty filter value in {text!r}")
+            return Filter(relation, attribute, operator, right)
+    raise CorrespondenceError(f"no comparison operator in filter {text!r}")
+
+
+def correspondence(
+    source: str, target: str, label: str = "", where: str = ""
+) -> Correspondence:
+    """Build a correspondence from textual endpoints.
+
+    ``correspondence("P3.name", "P2.name")`` is a traditional attribute
+    correspondence; ``correspondence("O3.person > P3.name", "C1.name")`` is a
+    referenced-attribute correspondence.  ``where`` accepts Clio-style filters
+    like ``"P3.email != 'x' and P3.name = 'MJ'"``.
+    """
+    filters: tuple[Filter, ...] = ()
+    if where:
+        filters = tuple(parse_filter(piece) for piece in where.split(" and "))
+    return Correspondence(
+        parse_referenced_attribute(source),
+        parse_referenced_attribute(target),
+        label,
+        filters,
+    )
+
+
+def correspondences(*pairs: tuple[str, str] | tuple[str, str, str]) -> list[Correspondence]:
+    """Build several correspondences at once from (source, target[, label]) tuples."""
+    built = []
+    for pair in pairs:
+        if len(pair) == 3:
+            source, target, label = pair
+        else:
+            source, target = pair
+            label = ""
+        built.append(correspondence(source, target, label))
+    return built

@@ -1,0 +1,112 @@
+"""The functionality check of Algorithm 4 (step 2).
+
+A unitary logical mapping ``m = φ(x) → R(t_key, t_v1, ...)`` is *functional*
+when it cannot, on its own, violate the key constraint of ``R``: for every
+non-key position ``v`` the query ``φ(k, v) ∧ φ(k', v') ∧ k = k' ∧ v ≠ v'``
+must be unsatisfiable over instances satisfying the source constraints.
+
+The check doubles the premise with fresh variables, equates the two copies'
+key terms (decomposing Skolem terms via injectivity) and asks the
+congruence-closure engine whether the non-key terms can still differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NonFunctionalMappingError
+from ..logic.mappings import Premise, UnitaryMapping
+from ..logic.satisfiability import check_equal_and_differ
+from ..logic.terms import Term, Variable
+from ..model.schema import Schema
+
+
+def rename_premise(premise: Premise) -> tuple[Premise, dict[Variable, Term]]:
+    """A copy of a premise with fresh variables, plus the renaming used."""
+    renaming: dict[Variable, Term] = {}
+    for var in premise.variables():
+        renaming[var] = Variable(var.name + "'")
+    # Null / non-null condition variables are premise variables already; a
+    # defensive pass covers conditions on variables missing from the atoms.
+    for var in list(premise.null_vars) + list(premise.nonnull_vars):
+        renaming.setdefault(var, Variable(var.name + "'"))
+    return premise.substitute(renaming), renaming
+
+
+def rename_unitary(mapping: UnitaryMapping) -> UnitaryMapping:
+    """A copy of a unitary mapping with fresh premise (and consequent) variables."""
+    premise, renaming = rename_premise(mapping.premise)
+    return UnitaryMapping(
+        premise=premise,
+        consequent=mapping.consequent.substitute(renaming),
+        origin=mapping.origin,
+        name=mapping.name,
+    )
+
+
+@dataclass
+class FunctionalityViolation:
+    """A witness that a unitary mapping is not functional."""
+
+    mapping: UnitaryMapping
+    attribute: str
+
+    def __str__(self) -> str:
+        return (
+            f"mapping {self.mapping.name or self.mapping.origin} can produce two "
+            f"{self.mapping.consequent.relation} tuples with the same key but "
+            f"different values for {self.attribute!r}"
+        )
+
+
+def check_functionality(
+    mapping: UnitaryMapping,
+    source_schema: Schema,
+    target_schema: Schema,
+) -> FunctionalityViolation | None:
+    """Return a violation witness, or ``None`` when the mapping is functional."""
+    copy = rename_unitary(mapping)
+    relation = target_schema.relation(mapping.consequent.relation)
+    key_positions = relation.key_positions()
+
+    atoms = list(mapping.premise.atoms) + list(copy.premise.atoms)
+    equalities: list[tuple[Term, Term]] = [
+        (mapping.consequent.terms[p], copy.consequent.terms[p]) for p in key_positions
+    ]
+    for source in (mapping.premise, copy.premise):
+        equalities.extend((e.left, e.right) for e in source.equalities)
+    null_terms = list(mapping.premise.null_vars) + list(copy.premise.null_vars)
+    nonnull_terms = list(mapping.premise.nonnull_vars) + list(copy.premise.nonnull_vars)
+    disequalities = [
+        (d.left, d.right)
+        for source in (mapping.premise, copy.premise)
+        for d in source.disequalities
+    ]
+
+    for position in range(relation.arity):
+        if position in key_positions:
+            continue
+        differ = (mapping.consequent.terms[position], copy.consequent.terms[position])
+        if check_equal_and_differ(
+            atoms,
+            source_schema,
+            equalities,
+            differ,
+            null_terms,
+            nonnull_terms,
+            disequalities=disequalities,
+        ):
+            return FunctionalityViolation(mapping, relation.attributes[position].name)
+    return None
+
+
+def assert_all_functional(
+    mappings: list[UnitaryMapping],
+    source_schema: Schema,
+    target_schema: Schema,
+) -> None:
+    """Raise :class:`NonFunctionalMappingError` on the first violation found."""
+    for mapping in mappings:
+        violation = check_functionality(mapping, source_schema, target_schema)
+        if violation is not None:
+            raise NonFunctionalMappingError(str(violation))

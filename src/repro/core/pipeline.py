@@ -1,0 +1,121 @@
+"""The end-to-end mapping system facade.
+
+A :class:`MappingProblem` is what the paper's visual tool captures: a source
+schema, a target schema and a set of (referenced-attribute) correspondences.
+A :class:`MappingSystem` runs the two-stage pipeline on it — schema-mapping
+generation, then query generation — and can execute the resulting
+transformation on source instances.  ``algorithm="basic"`` selects the
+Clio-style baseline (Algorithms 1 and 2), ``algorithm="novel"`` the paper's
+algorithms (3 and 4); everything is computed lazily and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datalog.engine import EvaluationResult, evaluate
+from ..datalog.program import DatalogProgram
+from ..logic.mappings import SchemaMapping
+from ..model.instance import Instance
+from ..errors import SchemaError
+from ..model.schema import Schema
+from .correspondences import Correspondence, correspondence
+from .query_generation import QueryGenerationResult, generate_queries
+from .schema_mapping import NOVEL, SchemaMappingResult, generate_schema_mapping
+
+
+@dataclass
+class MappingProblem:
+    """A mapping scenario: two schemas plus the correspondences between them."""
+
+    source_schema: Schema
+    target_schema: Schema
+    correspondences: list[Correspondence] = field(default_factory=list)
+    name: str = "mapping-problem"
+
+    def add_correspondence(
+        self, source: str, target: str, label: str = "", where: str = ""
+    ) -> Correspondence:
+        """Add a correspondence from textual endpoints and return it.
+
+        ``where`` accepts Clio-style filters, e.g. ``"P3.name != 'MJ'"``.
+        """
+        built = correspondence(source, target, label, where=where)
+        built.validate(self.source_schema, self.target_schema)
+        self.correspondences.append(built)
+        return built
+
+    def validate(self) -> None:
+        self.source_schema.validate()
+        self.target_schema.validate()
+        shared = set(self.source_schema.relation_names()) & set(
+            self.target_schema.relation_names()
+        )
+        if shared:
+            raise SchemaError(
+                "source and target schemas must use distinct relation names "
+                f"(shared: {sorted(shared)}); rename one side"
+            )
+        for item in self.correspondences:
+            item.validate(self.source_schema, self.target_schema)
+
+
+class MappingSystem:
+    """Runs the full pipeline for one mapping problem and one algorithm."""
+
+    def __init__(
+        self,
+        problem: MappingProblem,
+        algorithm: str = NOVEL,
+        skolem_strategy: str | None = None,
+        optimize: bool = True,
+    ):
+        problem.validate()
+        self.problem = problem
+        self.algorithm = algorithm
+        self.skolem_strategy = skolem_strategy
+        self.optimize = optimize
+        self._schema_mapping_result: SchemaMappingResult | None = None
+        self._query_result: QueryGenerationResult | None = None
+
+    # -- stage 1: schema mapping generation --------------------------------
+
+    def schema_mapping_result(self) -> SchemaMappingResult:
+        if self._schema_mapping_result is None:
+            self._schema_mapping_result = generate_schema_mapping(
+                self.problem.source_schema,
+                self.problem.target_schema,
+                self.problem.correspondences,
+                algorithm=self.algorithm,
+            )
+        return self._schema_mapping_result
+
+    @property
+    def schema_mapping(self) -> SchemaMapping:
+        return self.schema_mapping_result().schema_mapping
+
+    # -- stage 2: query generation -----------------------------------------
+
+    def query_result(self) -> QueryGenerationResult:
+        if self._query_result is None:
+            self._query_result = generate_queries(
+                self.schema_mapping,
+                algorithm=self.algorithm,
+                skolem_strategy=self.skolem_strategy,
+                optimize=self.optimize,
+            )
+        return self._query_result
+
+    @property
+    def transformation(self) -> DatalogProgram:
+        return self.query_result().program
+
+    # -- execution -----------------------------------------------------------
+
+    def transform(self, source: Instance) -> Instance:
+        """Compute the target instance for a source instance."""
+        return self.transform_detailed(source).target
+
+    def transform_detailed(self, source: Instance) -> EvaluationResult:
+        """Like :meth:`transform` but also returns the intermediate relations."""
+        return evaluate(self.transformation, source)

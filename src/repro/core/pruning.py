@@ -1,0 +1,242 @@
+"""Pruning of candidate logical mappings (Algorithm 3, step 3).
+
+Three structural pruning rules, applied in the paper's order after the
+nullable-related pruning already performed during candidate generation:
+
+* **subsumption**: ``m'`` is subsumed by ``m`` when both tableaux of ``m``
+  embed into the corresponding tableaux of ``m'`` (so ``m'`` is "bigger"),
+  at least one embedding is strict, and both cover the same correspondences;
+* **implication**: ``m`` is implied by ``m'`` when both share the same source
+  tableau and ``m``'s target tableau embeds into ``m'``'s (everything ``m``
+  asserts, ``m'`` asserts too, with the same value bindings);
+* **non-null extension**: for two candidates over the same source tableau
+  whose target tableaux are chase siblings related by ``≺`` (the non-null
+  extension of a nullable foreign key), the extension is pruned when it
+  covers nothing more, and the null variant is pruned when the extension
+  covers strictly more.
+
+Embeddings respect null / non-null conditions (a condition of the smaller
+tableau must be present in the bigger one) and the value bindings of the
+covered correspondences (the data flow must be preserved, not just the
+shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logic.homomorphism import find_homomorphism
+from ..logic.tableau import PartialTableau
+from ..logic.terms import Term, Variable
+from .candidates import CandidateMapping, PruneRecord
+
+
+def _condition_check(pattern: PartialTableau, target: PartialTableau):
+    """Homomorphism side condition: conditions of the pattern must persist."""
+
+    def check(var: Variable, image: Term) -> bool:
+        if var in pattern.null_vars:
+            return image in target.null_vars
+        if var in pattern.nonnull_vars:
+            return image in target.nonnull_vars
+        return True
+
+    return check
+
+
+def _embed_tableau(
+    small: PartialTableau,
+    big: PartialTableau,
+    fixed: dict[Variable, Term],
+) -> dict[Variable, Term] | None:
+    """An embedding of ``small``'s atoms (and conditions) into ``big``'s."""
+    return find_homomorphism(
+        small.atoms, big.atoms, fixed=fixed, var_check=_condition_check(small, big)
+    )
+
+
+def _binding_fixed_pairs(
+    smaller: CandidateMapping, bigger: CandidateMapping, side: str
+) -> dict[Variable, Term] | None:
+    """Fixed variable pairs forcing the embeddings to preserve covered flows.
+
+    For every correspondence covered by both candidates, the smaller
+    candidate's referenced term must map onto the bigger candidate's
+    referenced term, on the requested side ("source" or "target").  Returns
+    ``None`` on an inconsistency (same variable forced to two images).
+    """
+    fixed: dict[Variable, Term] = {}
+    small_sel = smaller.selection_by_correspondence()
+    big_sel = bigger.selection_by_correspondence()
+    for correspondence, small_cov in small_sel.items():
+        big_cov = big_sel.get(correspondence)
+        if big_cov is None:
+            continue
+        if side == "source":
+            small_term = small_cov.source.referenced_term(smaller.source_tableau)
+            big_term = big_cov.source.referenced_term(bigger.source_tableau)
+        else:
+            small_term = small_cov.target.referenced_term(smaller.target_tableau)
+            big_term = big_cov.target.referenced_term(bigger.target_tableau)
+        if isinstance(small_term, Variable):
+            if small_term in fixed and fixed[small_term] != big_term:
+                return None
+            fixed[small_term] = big_term
+        elif small_term != big_term:  # pragma: no cover - tableau terms are variables
+            return None
+    return fixed
+
+
+def subsumes(small: CandidateMapping, big: CandidateMapping) -> bool:
+    """True iff ``big`` is subsumed by ``small`` (paper: m' subsumed by m)."""
+    if small.covered_set() != big.covered_set():
+        return False
+    strict = len(big.source_tableau) > len(small.source_tableau) or len(
+        big.target_tableau
+    ) > len(small.target_tableau)
+    if not strict:
+        return False
+    fixed_source = _binding_fixed_pairs(small, big, "source")
+    if fixed_source is None:
+        return False
+    g = _embed_tableau(small.source_tableau, big.source_tableau, fixed_source)
+    if g is None:
+        return False
+    fixed_target = _binding_fixed_pairs(small, big, "target")
+    if fixed_target is None:
+        return False
+    h = _embed_tableau(small.target_tableau, big.target_tableau, fixed_target)
+    return h is not None
+
+
+def implies(stronger: CandidateMapping, weaker: CandidateMapping) -> bool:
+    """True iff ``weaker`` is implied by ``stronger``.
+
+    Requires the identical source tableau (the same chase result, hence the
+    same premise and source variables) and an embedding of the weaker
+    candidate's target tableau into the stronger one's that preserves every
+    covered value flow of the weaker candidate.
+    """
+    if stronger.source_tableau is not weaker.source_tableau:
+        return False
+    weak_sel = weaker.selection_by_correspondence()
+    strong_sel = stronger.selection_by_correspondence()
+    fixed: dict[Variable, Term] = {}
+    for correspondence, weak_cov in weak_sel.items():
+        strong_cov = strong_sel.get(correspondence)
+        if strong_cov is None:
+            return False  # the stronger mapping does not move this value
+        # Same source term (the tableaux are the same object, so comparable).
+        if weak_cov.source.referenced_term(weaker.source_tableau) is not (
+            strong_cov.source.referenced_term(stronger.source_tableau)
+        ):
+            return False
+        weak_var = weaker.target_variable(weak_cov)
+        strong_var = stronger.target_variable(strong_cov)
+        if weak_var in fixed and fixed[weak_var] != strong_var:
+            return False
+        fixed[weak_var] = strong_var
+    h = _embed_tableau(weaker.target_tableau, stronger.target_tableau, fixed)
+    return h is not None
+
+
+@dataclass
+class PruningResult:
+    kept: list[CandidateMapping] = field(default_factory=list)
+    pruned: list[PruneRecord] = field(default_factory=list)
+
+
+def prune_candidates(
+    candidates: list[CandidateMapping],
+    use_nonnull_extension: bool = True,
+) -> PruningResult:
+    """Apply subsumption, implication and non-null-extension pruning in order."""
+    result = PruningResult()
+
+    # -- subsumption ------------------------------------------------------
+    survivors: list[CandidateMapping] = []
+    for candidate in candidates:
+        subsumer = next(
+            (
+                other
+                for other in candidates
+                if other is not candidate and subsumes(other, candidate)
+            ),
+            None,
+        )
+        if subsumer is not None:
+            result.pruned.append(
+                PruneRecord(
+                    candidate.name,
+                    repr(candidate),
+                    f"subsumed by {subsumer.name}",
+                    rule="subsumption",
+                    by=subsumer.name,
+                )
+            )
+        else:
+            survivors.append(candidate)
+
+    # -- implication (among remaining) -------------------------------------
+    implied_away: set[int] = set()
+    for i, candidate in enumerate(survivors):
+        for j, other in enumerate(survivors):
+            if i == j or j in implied_away:
+                continue
+            if not implies(other, candidate):
+                continue
+            if implies(candidate, other) and i < j:
+                continue  # structurally equal candidates: keep the earlier one
+            implied_away.add(i)
+            result.pruned.append(
+                PruneRecord(
+                    candidate.name,
+                    repr(candidate),
+                    f"implied by {other.name}",
+                    rule="implication",
+                    by=other.name,
+                )
+            )
+            break
+    after_implication = [m for i, m in enumerate(survivors) if i not in implied_away]
+
+    # -- non-null extension -------------------------------------------------
+    pruned_extension: set[int] = set()
+    for i, m in enumerate(after_implication):
+        for j, m_prime in enumerate(after_implication):
+            if i == j or i in pruned_extension or j in pruned_extension:
+                continue
+            if not use_nonnull_extension:
+                continue
+            if m.source_tableau is not m_prime.source_tableau:
+                continue
+            if not m_prime.target_tableau.is_nonnull_extension_of(m.target_tableau):
+                continue
+            covered_m = m.covered_set()
+            covered_prime = m_prime.covered_set()
+            if covered_m == covered_prime:
+                pruned_extension.add(j)
+                result.pruned.append(
+                    PruneRecord(
+                        m_prime.name,
+                        repr(m_prime),
+                        f"non-null extension of {m.name} covering no more correspondences",
+                        rule="nonnull-extension",
+                        by=m.name,
+                    )
+                )
+            elif covered_m < covered_prime:
+                pruned_extension.add(i)
+                result.pruned.append(
+                    PruneRecord(
+                        m.name,
+                        repr(m),
+                        f"its non-null extension {m_prime.name} covers strictly more",
+                        rule="nonnull-extension",
+                        by=m_prime.name,
+                    )
+                )
+    result.kept = [
+        m for i, m in enumerate(after_implication) if i not in pruned_extension
+    ]
+    return result

@@ -1,0 +1,247 @@
+"""Skolemization of logical mappings — all four procedures of Appendix B.
+
+Every existentially quantified variable of a logical mapping is replaced
+either by ``null`` (when it only occurs in nullable positions and the novel
+algorithm's null policy is active, paper section 6) or by a Skolem functor
+term.  The four strategies differ only in the functor's arguments:
+
+* :data:`ALL_SOURCE_VARS` — all universally quantified variables ([2]);
+* :data:`SOURCE_AND_RHS_VARS` — the source variables that also occur in the
+  consequent ([16], the Clio baseline);
+* :data:`ALL_SOURCE_OR_KEY_VARS` — the paper's procedure (section 6): all
+  source variables when the variable is bound only to a key attribute; the
+  key terms of the single atom where it occurs when bound to a non-key
+  attribute (which nests Skolem terms); the key terms of the atom where it
+  occurs as a non-key when it links a foreign key to a referenced key;
+* :data:`SOURCE_HERE_AND_REF_VARS` — the source variables of the atom where
+  the variable lives (preferring an atom where it is a key), plus those of
+  the atoms whose keys that atom references, directly or indirectly.
+
+Functor names embed the mapping label (``f_<attribute>@<label>``) because the
+paper requires "a different Skolem function for each different logical
+mapping and existentially quantified variable" — and the key-conflict
+machinery relies on distinct functions being distinct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import QueryGenerationError
+from ..logic.mappings import LogicalMapping
+from ..logic.terms import NULL_TERM, SkolemTerm, Term, Variable
+from ..model.schema import Schema
+
+ALL_SOURCE_VARS = "all-source-vars"
+SOURCE_AND_RHS_VARS = "source-and-rhs-vars"
+ALL_SOURCE_OR_KEY_VARS = "all-source-or-key-vars"
+SOURCE_HERE_AND_REF_VARS = "source-here-and-ref-vars"
+
+STRATEGIES = (
+    ALL_SOURCE_VARS,
+    SOURCE_AND_RHS_VARS,
+    ALL_SOURCE_OR_KEY_VARS,
+    SOURCE_HERE_AND_REF_VARS,
+)
+
+
+@dataclass
+class _Occurrence:
+    """One occurrence of an existential variable in the consequent."""
+
+    atom_index: int
+    relation: str
+    attribute: str
+    is_key: bool
+    is_nullable: bool
+    is_foreign_key: bool
+
+
+def _occurrences(
+    mapping: LogicalMapping, target_schema: Schema, variable: Variable
+) -> list[_Occurrence]:
+    found = []
+    for atom_index, atom in enumerate(mapping.consequent):
+        relation = target_schema.relation(atom.relation)
+        for position, term in enumerate(atom.terms):
+            if term is variable:
+                attribute = relation.attributes[position].name
+                found.append(
+                    _Occurrence(
+                        atom_index=atom_index,
+                        relation=atom.relation,
+                        attribute=attribute,
+                        is_key=relation.is_key_attribute(attribute),
+                        is_nullable=relation.is_nullable(attribute),
+                        is_foreign_key=target_schema.has_foreign_key_from(
+                            atom.relation, attribute
+                        ),
+                    )
+                )
+    return found
+
+
+def _functor_name(mapping: LogicalMapping, occurrences: list[_Occurrence]) -> str:
+    """A functor name from the most specific attribute the variable fills."""
+    non_key = [o for o in occurrences if not o.is_key]
+    chosen = non_key[0] if non_key else occurrences[0]
+    label = mapping.label or "m"
+    return f"f_{chosen.attribute}@{label}"
+
+
+def _key_terms(
+    mapping: LogicalMapping, target_schema: Schema, atom_index: int
+) -> list[Term]:
+    atom = mapping.consequent[atom_index]
+    relation = target_schema.relation(atom.relation)
+    return [atom.terms[p] for p in relation.key_positions()]
+
+
+def _referenced_source_vars(
+    mapping: LogicalMapping,
+    target_schema: Schema,
+    atom_index: int,
+    source_vars: set[Variable],
+) -> list[Variable]:
+    """Source variables of an atom and of the atoms its keys reference.
+
+    Implements the closure of the Source-Here-and-Ref-Vars procedure: follow
+    foreign keys from the atom to the consequent atoms they reference.
+    """
+    collected: dict[Variable, None] = {}
+    visited: set[int] = set()
+    stack = [atom_index]
+    while stack:
+        index = stack.pop()
+        if index in visited:
+            continue
+        visited.add(index)
+        atom = mapping.consequent[index]
+        relation = target_schema.relation(atom.relation)
+        for position, term in enumerate(atom.terms):
+            for var in term.variables():
+                if var in source_vars:
+                    collected.setdefault(var, None)
+            attribute = relation.attributes[position].name
+            fk = target_schema.foreign_key_from(atom.relation, attribute)
+            if fk is None:
+                continue
+            # Find a consequent atom of the referenced relation whose key
+            # term coincides with this position's term.
+            for other_index, other in enumerate(mapping.consequent):
+                if other_index == index or other.relation != fk.referenced:
+                    continue
+                other_rel = target_schema.relation(other.relation)
+                key_position = other_rel.position(other_rel.key[0])
+                if other.terms[key_position] is atom.terms[position] or (
+                    other.terms[key_position] == atom.terms[position]
+                ):
+                    stack.append(other_index)
+    return list(collected)
+
+
+def _argument_terms(
+    mapping: LogicalMapping,
+    target_schema: Schema,
+    variable: Variable,
+    occurrences: list[_Occurrence],
+    strategy: str,
+) -> list[Term]:
+    """The (pre-substitution) argument terms for the variable's functor."""
+    source_vars = mapping.source_variables()
+    if strategy == ALL_SOURCE_VARS:
+        return list(source_vars)
+    if strategy == SOURCE_AND_RHS_VARS:
+        in_consequent: set[Variable] = set()
+        for atom in mapping.consequent:
+            in_consequent.update(atom.variables())
+        return [v for v in source_vars if v in in_consequent]
+    if strategy == ALL_SOURCE_OR_KEY_VARS:
+        key_occurrences = [o for o in occurrences if o.is_key]
+        non_key_occurrences = [o for o in occurrences if not o.is_key]
+        if not non_key_occurrences:
+            # Bound only to key attributes: all source variables.
+            return list(source_vars)
+        # Bound to a non-key attribute (possibly also to a referenced key):
+        # the key terms of the atom where it occurs as a non-key.
+        return _key_terms(mapping, target_schema, non_key_occurrences[0].atom_index)
+    if strategy == SOURCE_HERE_AND_REF_VARS:
+        key_occurrences = [o for o in occurrences if o.is_key]
+        chosen = key_occurrences[0] if key_occurrences else occurrences[0]
+        return _referenced_source_vars(
+            mapping, target_schema, chosen.atom_index, set(source_vars)
+        )
+    raise QueryGenerationError(f"unknown skolemization strategy {strategy!r}")
+
+
+def skolemize_mapping(
+    mapping: LogicalMapping,
+    target_schema: Schema,
+    strategy: str = ALL_SOURCE_OR_KEY_VARS,
+    use_null_for_nullable: bool = True,
+) -> LogicalMapping:
+    """Replace every existential variable with ``null`` or a Skolem term.
+
+    With ``use_null_for_nullable`` (the novel algorithm) a variable occurring
+    only in nullable positions becomes ``null``; the basic algorithms
+    skolemize everything.  Skolem terms may nest (the paper's
+    ``f_n(f_p(c))``), so variables are resolved in dependency order.
+    """
+    existential = mapping.existential_variables()
+    if not existential:
+        return mapping
+
+    plans: dict[Variable, tuple[str, list[Term]] | None] = {}
+    for variable in existential:
+        occurrences = _occurrences(mapping, target_schema, variable)
+        if not occurrences:  # pragma: no cover - defensive
+            continue
+        if use_null_for_nullable and all(o.is_nullable for o in occurrences):
+            plans[variable] = None  # becomes null
+            continue
+        arguments = _argument_terms(
+            mapping, target_schema, variable, occurrences, strategy
+        )
+        plans[variable] = (_functor_name(mapping, occurrences), arguments)
+
+    resolved: dict[Variable, Term] = {}
+    unresolved = dict(plans)
+    while unresolved:
+        progress = False
+        for variable, plan in list(unresolved.items()):
+            if plan is None:
+                resolved[variable] = NULL_TERM
+                del unresolved[variable]
+                progress = True
+                continue
+            functor, arguments = plan
+            if any(
+                v in unresolved
+                for argument in arguments
+                for v in argument.variables()
+            ):
+                continue  # an argument still mentions an unresolved variable
+            final_args = [argument.substitute(resolved) for argument in arguments]
+            resolved[variable] = SkolemTerm(functor, final_args)
+            del unresolved[variable]
+            progress = True
+        if not progress:
+            raise QueryGenerationError(
+                f"cyclic Skolem dependencies in mapping {mapping.label!r}: "
+                f"{sorted(v.name for v in unresolved)}"
+            )
+
+    return mapping.substitute_consequent(resolved)
+
+
+def skolemize_schema_mapping(
+    mappings: list[LogicalMapping],
+    target_schema: Schema,
+    strategy: str = ALL_SOURCE_OR_KEY_VARS,
+    use_null_for_nullable: bool = True,
+) -> list[LogicalMapping]:
+    """Skolemize every logical mapping of a schema mapping."""
+    return [
+        skolemize_mapping(m, target_schema, strategy, use_null_for_nullable)
+        for m in mappings
+    ]

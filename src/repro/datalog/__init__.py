@@ -1,0 +1,18 @@
+"""Datalog substrate: programs, stratification, evaluation, optimization."""
+
+from .engine import EvaluationResult, evaluate, evaluate_rule
+from .optimize import remove_subsumed_rules, subsumes_rule
+from .program import DatalogProgram, Rule
+from .stratify import dependencies, stratify
+
+__all__ = [
+    "DatalogProgram",
+    "EvaluationResult",
+    "Rule",
+    "dependencies",
+    "evaluate",
+    "evaluate_rule",
+    "remove_subsumed_rules",
+    "stratify",
+    "subsumes_rule",
+]

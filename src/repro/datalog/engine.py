@@ -1,0 +1,249 @@
+"""Evaluation of non-recursive skolemized Datalog programs.
+
+The engine materializes every defined relation in stratification order.
+Rules are evaluated with an index-nested-loop join: at each step the most
+tightly bound remaining body atom is joined next, using hash indexes built
+per (relation, bound-positions) on demand.  Skolem terms in heads become
+:class:`repro.model.values.LabeledNull` invented values; ``null`` becomes
+:data:`repro.model.values.NULL`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..errors import EvaluationError
+from ..logic.atoms import RelationalAtom
+from ..logic.terms import Constant, NullTerm, SkolemTerm, Term, Variable
+from ..model.instance import Instance, Row
+from ..model.values import NULL, LabeledNull, is_null
+from .program import DatalogProgram, Rule
+from .stratify import stratify
+
+
+class _Store:
+    """Rows plus lazily built hash indexes for every readable relation."""
+
+    def __init__(self) -> None:
+        self._rows: dict[str, list[Row]] = {}
+        self._sets: dict[str, set[Row]] = {}
+        self._indexes: dict[tuple[str, tuple[int, ...]], dict[Row, list[Row]]] = {}
+
+    def add_relation(self, name: str, rows: Iterator[Row] | list[Row]) -> None:
+        unique: dict[Row, None] = {}
+        for row in rows:
+            unique.setdefault(tuple(row), None)
+        self._rows[name] = list(unique)
+        self._sets[name] = set(unique)
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._rows
+
+    def rows(self, name: str) -> list[Row]:
+        try:
+            return self._rows[name]
+        except KeyError:
+            raise EvaluationError(f"unknown relation {name!r} in rule body") from None
+
+    def contains(self, name: str, row: Row) -> bool:
+        return row in self._sets.get(name, ())
+
+    def size(self, name: str) -> int:
+        return len(self._rows.get(name, ()))
+
+    def index(self, name: str, positions: tuple[int, ...]) -> dict[Row, list[Row]]:
+        key = (name, positions)
+        index = self._indexes.get(key)
+        if index is None:
+            index = {}
+            for row in self.rows(name):
+                projected = tuple(row[p] for p in positions)
+                index.setdefault(projected, []).append(row)
+            self._indexes[key] = index
+        return index
+
+
+Bindings = dict[Variable, Any]
+
+
+def _eval_term(term: Term, bindings: Bindings) -> Any:
+    """Evaluate a head/condition term to a value under the bindings."""
+    if isinstance(term, Variable):
+        try:
+            return bindings[term]
+        except KeyError:
+            raise EvaluationError(f"unbound variable {term!r}") from None
+    if isinstance(term, NullTerm):
+        return NULL
+    if isinstance(term, Constant):
+        return term.value
+    if isinstance(term, SkolemTerm):
+        return LabeledNull(term.functor, tuple(_eval_term(a, bindings) for a in term.args))
+    raise EvaluationError(f"cannot evaluate term {term!r}")  # pragma: no cover
+
+
+def _match_atom(
+    atom: RelationalAtom, row: Row, bindings: Bindings
+) -> Bindings | None:
+    """Extend bindings so the atom matches the row, or None on mismatch."""
+    new: Bindings = {}
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Variable):
+            if term in bindings:
+                if bindings[term] != value:
+                    return None
+            elif term in new:
+                if new[term] != value:
+                    return None
+            else:
+                new[term] = value
+        elif isinstance(term, NullTerm):
+            if not is_null(value):
+                return None
+        elif isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:  # pragma: no cover - Skolem terms never occur in bodies
+            raise EvaluationError(f"unexpected body term {term!r}")
+    merged = dict(bindings)
+    merged.update(new)
+    return merged
+
+
+def _join(store: _Store, atoms: list[RelationalAtom], bindings: Bindings) -> Iterator[Bindings]:
+    """All extensions of ``bindings`` satisfying every atom (greedy ordering)."""
+    if not atoms:
+        yield bindings
+        return
+    # Pick the atom with the most bound positions; break ties by relation size.
+    def bound_positions(atom: RelationalAtom) -> tuple[int, ...]:
+        positions = []
+        for i, term in enumerate(atom.terms):
+            if not isinstance(term, Variable) or term in bindings:
+                positions.append(i)
+        return tuple(positions)
+
+    best_index = min(
+        range(len(atoms)),
+        key=lambda i: (
+            -len(bound_positions(atoms[i])),
+            store.size(atoms[i].relation),
+        ),
+    )
+    atom = atoms[best_index]
+    rest = atoms[:best_index] + atoms[best_index + 1:]
+    positions = bound_positions(atom)
+    if positions:
+        wanted = []
+        usable = True
+        for p in positions:
+            term = atom.terms[p]
+            if isinstance(term, Variable):
+                wanted.append(bindings[term])
+            elif isinstance(term, Constant):
+                wanted.append(term.value)
+            elif isinstance(term, NullTerm):
+                wanted.append(NULL)
+            else:  # pragma: no cover
+                usable = False
+                break
+        if usable:
+            candidates = store.index(atom.relation, positions).get(tuple(wanted), [])
+        else:  # pragma: no cover
+            candidates = store.rows(atom.relation)
+    else:
+        candidates = store.rows(atom.relation)
+    for row in candidates:
+        extended = _match_atom(atom, row, bindings)
+        if extended is None:
+            continue
+        yield from _join(store, rest, extended)
+
+
+def _conditions_hold(rule: Rule, bindings: Bindings) -> bool:
+    for var in rule.null_vars:
+        if not is_null(bindings[var]):
+            return False
+    for var in rule.nonnull_vars:
+        if is_null(bindings[var]):
+            return False
+    for equality in rule.equalities:
+        if _eval_term(equality.left, bindings) != _eval_term(equality.right, bindings):
+            return False
+    for disequality in rule.disequalities:
+        if _eval_term(disequality.left, bindings) == _eval_term(disequality.right, bindings):
+            return False
+    return True
+
+
+def _negations_hold(rule: Rule, store: _Store, bindings: Bindings) -> bool:
+    for atom in rule.negated:
+        row = tuple(_eval_term(t, bindings) for t in atom.terms)
+        if store.contains(atom.relation, row):
+            return False
+    return True
+
+
+def evaluate_rule(rule: Rule, store: _Store) -> list[Row]:
+    """All head rows derived by one rule against the current store."""
+    derived: dict[Row, None] = {}
+    for bindings in _join(store, list(rule.body), {}):
+        if not _conditions_hold(rule, bindings):
+            continue
+        if not _negations_hold(rule, store, bindings):
+            continue
+        row = tuple(_eval_term(t, bindings) for t in rule.head.terms)
+        derived.setdefault(row, None)
+    return list(derived)
+
+
+@dataclass
+class EvaluationResult:
+    """The computed target instance plus the intermediate relations."""
+
+    target: Instance
+    intermediates: dict[str, list[Row]] = field(default_factory=dict)
+    #: per-rule derived row counts (before cross-rule deduplication),
+    #: indexed like ``program.rules``
+    rule_counts: list[int] = field(default_factory=list)
+
+    def intermediate(self, name: str) -> list[Row]:
+        return self.intermediates[name]
+
+
+def evaluate(program: DatalogProgram, source: Instance) -> EvaluationResult:
+    """Run the transformation: compute a target instance from a source instance."""
+    if program.target_schema is None:
+        raise EvaluationError("program has no target schema")
+    program.validate()
+    store = _Store()
+    for name, relation in source.relations.items():
+        store.add_relation(name, list(relation.rows))
+
+    order = stratify(program)
+    computed: dict[str, list[Row]] = {}
+    rule_counts: dict[int, int] = {}
+    rule_index = {id(rule): i for i, rule in enumerate(program.rules)}
+    for relation in order:
+        rows: dict[Row, None] = {}
+        for rule in program.rules_for(relation):
+            derived = evaluate_rule(rule, store)
+            rule_counts[rule_index[id(rule)]] = len(derived)
+            for row in derived:
+                rows.setdefault(row, None)
+        computed[relation] = list(rows)
+        store.add_relation(relation, list(rows))
+
+    target = Instance(program.target_schema)
+    for relation in program.target_schema.relation_names():
+        if relation in computed:
+            target.add_all(relation, computed[relation])
+    intermediates = {
+        name: computed.get(name, []) for name in program.intermediates
+    }
+    return EvaluationResult(
+        target=target,
+        intermediates=intermediates,
+        rule_counts=[rule_counts.get(i, 0) for i in range(len(program.rules))],
+    )

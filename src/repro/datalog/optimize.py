@@ -1,0 +1,109 @@
+"""Standard query optimization on generated programs.
+
+The paper's Example 6.8 notes that "it is then possible to perform some
+standard query optimization, e.g., the second rule can be dropped, since it
+is subsumed by the first rule".  :func:`remove_subsumed_rules` implements
+exactly that: a rule ``r`` is dropped when another rule ``r'`` with the same
+head relation derives every tuple ``r`` derives — witnessed by a
+homomorphism θ with ``θ(head') = head``, ``θ(body') ⊆ body``, the conditions
+of ``r'`` implied by those of ``r``, and ``θ(negations') ⊆ negations``.
+"""
+
+from __future__ import annotations
+
+from ..logic.atoms import RelationalAtom
+from ..logic.homomorphism import find_homomorphism
+from ..logic.terms import Term, Variable
+from .program import DatalogProgram, Rule
+
+_HEAD = "__head__"
+
+
+def _with_head_marker(rule: Rule) -> list[RelationalAtom]:
+    return [RelationalAtom(_HEAD, rule.head.terms), *rule.body]
+
+
+def subsumes_rule(general: Rule, specific: Rule) -> bool:
+    """True iff every tuple derived by ``specific`` is derived by ``general``."""
+    if general.head_relation != specific.head_relation:
+        return False
+    if general.head.arity != specific.head.arity:
+        return False
+
+    def var_check(var: Variable, image: Term) -> bool:
+        if var in general.null_vars:
+            return isinstance(image, Variable) and image in specific.null_vars
+        if var in general.nonnull_vars:
+            return isinstance(image, Variable) and image in specific.nonnull_vars
+        return True
+
+    assignment = find_homomorphism(
+        _with_head_marker(general),
+        _with_head_marker(specific),
+        var_check=var_check,
+    )
+    if assignment is None:
+        return False
+    specific_equalities = {
+        (repr(e.left), repr(e.right)) for e in specific.equalities
+    } | {(repr(e.right), repr(e.left)) for e in specific.equalities}
+    for equality in general.equalities:
+        left = equality.left.substitute(assignment)
+        right = equality.right.substitute(assignment)
+        if repr(left) == repr(right):
+            continue
+        if (repr(left), repr(right)) not in specific_equalities:
+            return False
+    specific_disequalities = {
+        (repr(d.left), repr(d.right)) for d in specific.disequalities
+    } | {(repr(d.right), repr(d.left)) for d in specific.disequalities}
+    for disequality in general.disequalities:
+        left = disequality.left.substitute(assignment)
+        right = disequality.right.substitute(assignment)
+        if (repr(left), repr(right)) not in specific_disequalities:
+            return False
+    specific_negated = {repr(a) for a in specific.negated}
+    for atom in general.negated:
+        if repr(atom.substitute(assignment)) not in specific_negated:
+            return False
+    return True
+
+
+def remove_subsumed_rules(program: DatalogProgram) -> DatalogProgram:
+    """Drop rules subsumed by other rules (and exact duplicates)."""
+    kept: list[Rule] = []
+    rules = program.rules
+    for i, rule in enumerate(rules):
+        redundant = False
+        for j, other in enumerate(rules):
+            if i == j:
+                continue
+            if subsumes_rule(other, rule):
+                # Mutual subsumption (duplicates): keep the earlier rule.
+                if subsumes_rule(rule, other) and i < j:
+                    continue
+                redundant = True
+                break
+        if not redundant:
+            kept.append(rule)
+    # Drop intermediate relations no longer referenced.
+    referenced = {
+        a.relation for r in kept for a in list(r.body) + list(r.negated)
+    }
+    final = [
+        r
+        for r in kept
+        if r.head_relation not in program.intermediates
+        or r.head_relation in referenced
+    ]
+    intermediates = {
+        name: arity
+        for name, arity in program.intermediates.items()
+        if name in referenced
+    }
+    return DatalogProgram(
+        rules=final,
+        source_schema=program.source_schema,
+        target_schema=program.target_schema,
+        intermediates=intermediates,
+    )

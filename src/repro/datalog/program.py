@@ -1,0 +1,122 @@
+"""Non-recursive Datalog programs with Skolem functors and safe negation.
+
+This is the execution language the paper's query-generation algorithms emit:
+each rule has a head over a target (or intermediate) relation whose terms may
+include Skolem functor terms and ``null``, a positive body of relational
+atoms over source and intermediate relations, equality / null / non-null
+conditions, and negated atoms over intermediate relations (safe stratified
+negation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DatalogError
+from ..logic.atoms import Disequality, Equality, RelationalAtom, atoms_variables
+from ..logic.terms import Variable
+from ..model.schema import Schema
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head ← body, conditions, ¬negated``."""
+
+    head: RelationalAtom
+    body: tuple[RelationalAtom, ...]
+    negated: tuple[RelationalAtom, ...] = ()
+    null_vars: tuple[Variable, ...] = ()
+    nonnull_vars: tuple[Variable, ...] = ()
+    equalities: tuple[Equality, ...] = ()
+    disequalities: tuple[Disequality, ...] = ()
+
+    @property
+    def head_relation(self) -> str:
+        return self.head.relation
+
+    def body_variables(self) -> list[Variable]:
+        return atoms_variables(self.body)
+
+    def check_safety(self) -> None:
+        """Heads, negations and conditions may only use positive body variables."""
+        bound = set(self.body_variables())
+        for var in self.head.variables():
+            if var not in bound:
+                raise DatalogError(
+                    f"unsafe rule: head variable {var!r} not bound in body: {self!r}"
+                )
+        for atom in self.negated:
+            for var in atom.variables():
+                if var not in bound:
+                    raise DatalogError(
+                        f"unsafe rule: negated variable {var!r} not bound: {self!r}"
+                    )
+        for var in list(self.null_vars) + list(self.nonnull_vars):
+            if var not in bound:
+                raise DatalogError(
+                    f"unsafe rule: condition variable {var!r} not bound: {self!r}"
+                )
+        for condition in list(self.equalities) + list(self.disequalities):
+            for var in condition.variables():
+                if var not in bound:
+                    raise DatalogError(
+                        f"unsafe rule: condition variable {var!r} not bound: {self!r}"
+                    )
+
+    def __repr__(self) -> str:
+        parts = [repr(a) for a in self.body]
+        parts.extend(f"{v!r}=null" for v in self.null_vars)
+        parts.extend(f"{v!r}!=null" for v in self.nonnull_vars)
+        parts.extend(repr(e) for e in self.equalities)
+        parts.extend(repr(d) for d in self.disequalities)
+        parts.extend(f"not {a!r}" for a in self.negated)
+        return f"{self.head!r} <- {', '.join(parts)}"
+
+
+@dataclass
+class DatalogProgram:
+    """A set of rules plus schema bookkeeping."""
+
+    rules: list[Rule] = field(default_factory=list)
+    source_schema: Schema | None = None
+    target_schema: Schema | None = None
+    #: name -> arity for intermediate (tmp) relations introduced by negation
+    intermediates: dict[str, int] = field(default_factory=dict)
+
+    def defined_relations(self) -> list[str]:
+        """Relations appearing in some head, in first-definition order."""
+        seen: dict[str, None] = {}
+        for rule in self.rules:
+            seen.setdefault(rule.head_relation, None)
+        return list(seen)
+
+    def rules_for(self, relation: str) -> list[Rule]:
+        return [r for r in self.rules if r.head_relation == relation]
+
+    def target_rules(self) -> list[Rule]:
+        """Rules defining target relations (not intermediates)."""
+        return [r for r in self.rules if r.head_relation not in self.intermediates]
+
+    def validate(self) -> None:
+        """Check safety, definedness of negated relations, and non-recursion."""
+        from .stratify import stratify
+
+        for rule in self.rules:
+            rule.check_safety()
+        defined = set(self.defined_relations())
+        for rule in self.rules:
+            for atom in rule.negated:
+                if atom.relation not in defined:
+                    raise DatalogError(
+                        f"negated relation {atom.relation!r} has no defining rules"
+                    )
+        stratify(self)  # raises on recursion
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __repr__(self) -> str:
+        return "DatalogProgram[\n  " + "\n  ".join(repr(r) for r in self.rules) + "\n]"

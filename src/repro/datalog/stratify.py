@@ -1,0 +1,57 @@
+"""Stratification / evaluation ordering for non-recursive Datalog programs.
+
+The programs emitted by query generation are non-recursive by construction
+(intermediate ``tmp`` relations depend only on source relations; target
+relations depend on source and ``tmp`` relations).  :func:`stratify` verifies
+this — any dependency cycle among defined relations is rejected — and
+returns the defined relations in a safe evaluation order (dependencies
+first), which doubles as a stratification for the safe negation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import DatalogError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .program import DatalogProgram
+
+
+def dependencies(program: "DatalogProgram") -> dict[str, set[str]]:
+    """For each defined relation, the defined relations its rules read.
+
+    The returned dict preserves first-definition order (stratification and
+    therefore SQL statement order must be deterministic across runs).
+    """
+    defined_order = program.defined_relations()
+    defined = set(defined_order)
+    graph: dict[str, set[str]] = {name: set() for name in defined_order}
+    for rule in program.rules:
+        reads = {a.relation for a in rule.body} | {a.relation for a in rule.negated}
+        graph[rule.head_relation].update(reads & defined)
+    return graph
+
+
+def stratify(program: "DatalogProgram") -> list[str]:
+    """Defined relations in evaluation order; raises on recursion."""
+    graph = dependencies(program)
+    order: list[str] = []
+    state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+    def visit(name: str, trail: list[str]) -> None:
+        status = state.get(name)
+        if status == 1:
+            return
+        if status == 0:
+            cycle = " -> ".join(trail[trail.index(name):] + [name])
+            raise DatalogError(f"recursive Datalog program: {cycle}")
+        state[name] = 0
+        for dependency in sorted(graph[name]):
+            visit(dependency, trail + [name])
+        state[name] = 1
+        order.append(name)
+
+    for name in graph:
+        visit(name, [])
+    return order

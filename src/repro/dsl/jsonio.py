@@ -1,0 +1,308 @@
+"""JSON serialization of schemas, problems, instances and programs.
+
+A stable interchange format so mapping problems can be versioned, diffed and
+exchanged with other tools.  Schemas, correspondences and instances
+round-trip exactly; Datalog programs are exported structurally (terms as
+tagged objects) for consumption by external executors.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.correspondences import Correspondence, Filter, ReferencedAttribute
+from ..core.pipeline import MappingProblem
+from ..datalog.program import DatalogProgram, Rule
+from ..errors import ParseError
+from ..logic.terms import NULL_TERM, Constant, NullTerm, SkolemTerm, Term, Variable
+from ..model.instance import Instance
+from ..model.schema import Attribute, ForeignKey, RelationSchema, Schema
+from ..model.values import NULL, LabeledNull, is_labeled_null, is_null
+
+
+# ---------------------------------------------------------------------------
+# Schemas
+# ---------------------------------------------------------------------------
+
+def schema_to_dict(schema: Schema) -> dict:
+    return {
+        "name": schema.name,
+        "relations": [
+            {
+                "name": relation.name,
+                "attributes": [
+                    {"name": a.name, "nullable": a.nullable}
+                    for a in relation.attributes
+                ],
+                "key": list(relation.key),
+            }
+            for relation in schema
+        ],
+        "foreign_keys": [
+            {
+                "relation": fk.relation,
+                "attribute": fk.attribute,
+                "referenced": fk.referenced,
+            }
+            for fk in schema.foreign_keys
+        ],
+    }
+
+
+def schema_from_dict(data: dict) -> Schema:
+    try:
+        relations = [
+            RelationSchema(
+                relation["name"],
+                [Attribute(a["name"], a.get("nullable", False)) for a in relation["attributes"]],
+                key=relation.get("key"),
+            )
+            for relation in data["relations"]
+        ]
+        foreign_keys = [
+            ForeignKey(fk["relation"], fk["attribute"], fk["referenced"])
+            for fk in data.get("foreign_keys", ())
+        ]
+        return Schema(relations, foreign_keys, name=data.get("name", "schema"))
+    except (KeyError, TypeError) as error:
+        raise ParseError(f"malformed schema JSON: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# Problems
+# ---------------------------------------------------------------------------
+
+def _reference_to_list(reference: ReferencedAttribute) -> list[list[str]]:
+    return [[relation, attribute] for relation, attribute in reference.steps]
+
+
+def _reference_from_list(data: list) -> ReferencedAttribute:
+    return ReferencedAttribute(tuple((step[0], step[1]) for step in data))
+
+
+def problem_to_dict(problem: MappingProblem) -> dict:
+    return {
+        "name": problem.name,
+        "source": schema_to_dict(problem.source_schema),
+        "target": schema_to_dict(problem.target_schema),
+        "correspondences": [
+            {
+                "source": _reference_to_list(c.source),
+                "target": _reference_to_list(c.target),
+                "label": c.label,
+                "filters": [
+                    {
+                        "relation": f.relation,
+                        "attribute": f.attribute,
+                        "operator": f.operator,
+                        "value": f.value,
+                    }
+                    for f in c.filters
+                ],
+            }
+            for c in problem.correspondences
+        ],
+    }
+
+
+def problem_from_dict(data: dict) -> MappingProblem:
+    try:
+        problem = MappingProblem(
+            schema_from_dict(data["source"]),
+            schema_from_dict(data["target"]),
+            name=data.get("name", "mapping-problem"),
+        )
+        for entry in data.get("correspondences", ()):
+            correspondence = Correspondence(
+                _reference_from_list(entry["source"]),
+                _reference_from_list(entry["target"]),
+                entry.get("label", ""),
+                tuple(
+                    Filter(
+                        f["relation"], f["attribute"], f["operator"], f["value"]
+                    )
+                    for f in entry.get("filters", ())
+                ),
+            )
+            correspondence.validate(problem.source_schema, problem.target_schema)
+            problem.correspondences.append(correspondence)
+        return problem
+    except (KeyError, TypeError, IndexError) as error:
+        raise ParseError(f"malformed problem JSON: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# Instances (values: null -> None, invented -> tagged object)
+# ---------------------------------------------------------------------------
+
+def _value_to_json(value: Any) -> Any:
+    if is_null(value):
+        return None
+    if is_labeled_null(value):
+        return {
+            "invented": value.functor,
+            "args": [_value_to_json(a) for a in value.args],
+        }
+    return value
+
+
+def _value_from_json(data: Any) -> Any:
+    if data is None:
+        return NULL
+    if isinstance(data, dict) and "invented" in data:
+        return LabeledNull(
+            data["invented"], tuple(_value_from_json(a) for a in data.get("args", ()))
+        )
+    return data
+
+
+def instance_to_dict(instance: Instance) -> dict:
+    return {
+        name: [[_value_to_json(v) for v in row] for row in relation.rows]
+        for name, relation in instance.relations.items()
+    }
+
+
+def instance_from_dict_json(schema: Schema, data: dict) -> Instance:
+    instance = Instance(schema)
+    for name, rows in data.items():
+        for row in rows:
+            instance.add(name, tuple(_value_from_json(v) for v in row))
+    return instance
+
+
+# ---------------------------------------------------------------------------
+# Programs (terms as tagged objects)
+# ---------------------------------------------------------------------------
+
+def _term_to_json(term: Term) -> Any:
+    if isinstance(term, Variable):
+        return {"var": term.name, "id": term.index}
+    if isinstance(term, NullTerm):
+        return {"null": True}
+    if isinstance(term, Constant):
+        return {"const": term.value}
+    if isinstance(term, SkolemTerm):
+        return {"skolem": term.functor, "args": [_term_to_json(a) for a in term.args]}
+    raise TypeError(f"cannot serialize term {term!r}")  # pragma: no cover
+
+
+def _term_from_json(data: Any, variables: dict[int, Variable]) -> Term:
+    if isinstance(data, dict):
+        if "var" in data:
+            index = data.get("id", len(variables))
+            if index not in variables:
+                variables[index] = Variable(data["var"])
+            return variables[index]
+        if data.get("null"):
+            return NULL_TERM
+        if "const" in data:
+            return Constant(data["const"])
+        if "skolem" in data:
+            return SkolemTerm(
+                data["skolem"],
+                [_term_from_json(a, variables) for a in data.get("args", ())],
+            )
+    raise ParseError(f"malformed term JSON: {data!r}")
+
+
+def program_from_dict(
+    data: dict, source_schema: Schema | None = None, target_schema: Schema | None = None
+) -> DatalogProgram:
+    """Rebuild a program exported by :func:`program_to_dict`.
+
+    Variable identity is reconstructed per rule from the exported ids, so the
+    program evaluates identically to the original.
+    """
+    from ..logic.atoms import Disequality, Equality, RelationalAtom
+
+    try:
+        rules = []
+        for entry in data["rules"]:
+            variables: dict[int, Variable] = {}
+
+            def atom(payload):
+                return RelationalAtom(
+                    payload["relation"],
+                    [_term_from_json(t, variables) for t in payload["terms"]],
+                )
+
+            rules.append(
+                Rule(
+                    head=atom(entry["head"]),
+                    body=tuple(atom(a) for a in entry["body"]),
+                    negated=tuple(atom(a) for a in entry.get("negated", ())),
+                    null_vars=tuple(
+                        _term_from_json(v, variables)
+                        for v in entry.get("null_vars", ())
+                    ),
+                    nonnull_vars=tuple(
+                        _term_from_json(v, variables)
+                        for v in entry.get("nonnull_vars", ())
+                    ),
+                    equalities=tuple(
+                        Equality(
+                            _term_from_json(e["left"], variables),
+                            _term_from_json(e["right"], variables),
+                        )
+                        for e in entry.get("equalities", ())
+                    ),
+                    disequalities=tuple(
+                        Disequality(
+                            _term_from_json(d["left"], variables),
+                            _term_from_json(d["right"], variables),
+                        )
+                        for d in entry.get("disequalities", ())
+                    ),
+                )
+            )
+        return DatalogProgram(
+            rules=rules,
+            source_schema=source_schema,
+            target_schema=target_schema,
+            intermediates=dict(data.get("intermediates", {})),
+        )
+    except (KeyError, TypeError) as error:
+        raise ParseError(f"malformed program JSON: {error}") from error
+
+
+def program_to_dict(program: DatalogProgram) -> dict:
+    def atom(a):
+        return {"relation": a.relation, "terms": [_term_to_json(t) for t in a.terms]}
+
+    return {
+        "intermediates": dict(program.intermediates),
+        "rules": [
+            {
+                "head": atom(rule.head),
+                "body": [atom(a) for a in rule.body],
+                "negated": [atom(a) for a in rule.negated],
+                "null_vars": [_term_to_json(v) for v in rule.null_vars],
+                "nonnull_vars": [_term_to_json(v) for v in rule.nonnull_vars],
+                "equalities": [
+                    {"left": _term_to_json(e.left), "right": _term_to_json(e.right)}
+                    for e in rule.equalities
+                ],
+                "disequalities": [
+                    {"left": _term_to_json(d.left), "right": _term_to_json(d.right)}
+                    for d in rule.disequalities
+                ],
+            }
+            for rule in program.rules
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# File-level helpers
+# ---------------------------------------------------------------------------
+
+def dump_problem(problem: MappingProblem, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(problem_to_dict(problem), handle, indent=2)
+
+
+def load_problem(path: str) -> MappingProblem:
+    with open(path) as handle:
+        return problem_from_dict(json.load(handle))

@@ -1,0 +1,205 @@
+"""A small line-oriented DSL for schemas, correspondences and instances.
+
+Mapping problems can be written as plain text, close to how the paper draws
+them::
+
+    source schema CARS3:
+      relation P3 (person key, name, email)
+      relation C3 (car key, model)
+      relation O3 (car key -> C3, person -> P3)
+
+    target schema CARS2:
+      relation P2 (person key, name, email)
+      relation C2 (car key, model, person? -> P2)
+
+    correspondences:
+      P3.person -> P2.person [p1]
+      P3.name -> P2.name [p2]
+
+Attribute syntax: ``name`` (mandatory), ``name?`` (nullable), ``name key``
+(part of the primary key; the first attribute is the key by default), and an
+optional ``-> Relation`` foreign-key suffix.  Correspondence sources and
+targets are referenced attributes: ``O3.person > P3.name -> C1.name [cn']``.
+
+Instances use one line per relation, ``null`` for the null value::
+
+    P3: (p21, John, j@...), (p22, MJ, mj@...)
+    O3: (c85, p22)
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core.pipeline import MappingProblem
+from ..errors import ParseError
+from ..model.builder import SchemaBuilder
+from ..model.instance import Instance
+from ..model.schema import Attribute, Schema
+from ..model.values import NULL
+
+_SCHEMA_HEADER = re.compile(r"^(source|target)\s+schema\s+([A-Za-z_][\w-]*)\s*:\s*$")
+_RELATION_LINE = re.compile(r"^relation\s+([A-Za-z_]\w*)\s*\((.*)\)\s*$")
+_CORRESPONDENCES_HEADER = re.compile(r"^correspondences\s*:\s*$")
+_LABEL = re.compile(r"\[([^\]]*)\]\s*$")
+
+
+def _strip_comment(line: str) -> str:
+    if "#" in line:
+        line = line[: line.index("#")]
+    return line.strip()
+
+
+def _parse_attribute_spec(spec: str, line_number: int):
+    """Parse one attribute spec; returns (Attribute, is_key, fk_target | None)."""
+    spec = spec.strip()
+    fk_target = None
+    if "->" in spec:
+        spec, _, fk_target = (p.strip() for p in spec.partition("->"))
+        if not fk_target:
+            raise ParseError(f"empty foreign-key target in {spec!r}", line_number)
+    tokens = spec.split()
+    if not tokens:
+        raise ParseError("empty attribute specification", line_number)
+    name = tokens[0]
+    is_key = False
+    for token in tokens[1:]:
+        if token == "key":
+            is_key = True
+        else:
+            raise ParseError(f"unknown attribute modifier {token!r}", line_number)
+    nullable = name.endswith("?")
+    if nullable:
+        name = name[:-1]
+    if not name.isidentifier():
+        raise ParseError(f"bad attribute name {name!r}", line_number)
+    return Attribute(name, nullable=nullable), is_key, fk_target
+
+
+class _SchemaSection:
+    def __init__(self, name: str):
+        self.builder = SchemaBuilder(name)
+        self.pending_fks: list[tuple[str, str, str]] = []
+        self.saw_relation = False
+
+    def add_relation(self, name: str, body: str, line_number: int) -> None:
+        attributes: list[Attribute] = []
+        keys: list[str] = []
+        for spec in body.split(","):
+            attribute, is_key, fk_target = _parse_attribute_spec(spec, line_number)
+            attributes.append(attribute)
+            if is_key:
+                keys.append(attribute.name)
+            if fk_target:
+                self.pending_fks.append((name, attribute.name, fk_target))
+        self.builder.relation(name, *attributes, key=keys or None)
+        self.saw_relation = True
+
+    def build(self) -> Schema:
+        for relation, attribute, target in self.pending_fks:
+            self.builder.foreign_key(relation, attribute, target)
+        return self.builder.build()
+
+
+def parse_problem(text: str, name: str = "parsed-problem") -> MappingProblem:
+    """Parse a full mapping problem (two schemas plus correspondences)."""
+    sections: dict[str, _SchemaSection] = {}
+    correspondences: list[tuple[str, str, str, str, int]] = []
+    current: _SchemaSection | None = None
+    in_correspondences = False
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        header = _SCHEMA_HEADER.match(line)
+        if header:
+            role, schema_name = header.groups()
+            if role in sections:
+                raise ParseError(f"duplicate {role} schema", line_number)
+            current = _SchemaSection(schema_name)
+            sections[role] = current
+            in_correspondences = False
+            continue
+        if _CORRESPONDENCES_HEADER.match(line):
+            in_correspondences = True
+            current = None
+            continue
+        relation = _RELATION_LINE.match(line)
+        if relation:
+            if current is None:
+                raise ParseError("relation outside a schema section", line_number)
+            current.add_relation(relation.group(1), relation.group(2), line_number)
+            continue
+        if in_correspondences:
+            label = ""
+            match = _LABEL.search(line)
+            if match:
+                label = match.group(1).strip()
+                line = line[: match.start()].strip()
+            where = ""
+            if " where " in line:
+                line, _, where = line.partition(" where ")
+                line = line.strip()
+                where = where.strip()
+            if "->" not in line:
+                raise ParseError(f"expected 'source -> target', got {line!r}", line_number)
+            source, _, target = line.rpartition("->")
+            correspondences.append(
+                (source.strip(), target.strip(), label, where, line_number)
+            )
+            continue
+        raise ParseError(f"unrecognized line {line!r}", line_number)
+
+    if "source" not in sections or "target" not in sections:
+        raise ParseError("a problem needs both a source and a target schema")
+    problem = MappingProblem(
+        sections["source"].build(), sections["target"].build(), name=name
+    )
+    for source, target, label, where, line_number in correspondences:
+        try:
+            problem.add_correspondence(source, target, label, where=where)
+        except Exception as error:
+            raise ParseError(str(error), line_number) from error
+    return problem
+
+
+def parse_schema(text: str, name: str = "parsed-schema") -> Schema:
+    """Parse a bare list of ``relation ...`` lines into a schema."""
+    section = _SchemaSection(name)
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        relation = _RELATION_LINE.match(line)
+        if not relation:
+            raise ParseError(f"expected a relation line, got {line!r}", line_number)
+        section.add_relation(relation.group(1), relation.group(2), line_number)
+    if not section.saw_relation:
+        raise ParseError("no relations found")
+    return section.build()
+
+
+_TUPLE = re.compile(r"\(([^()]*)\)")
+
+
+def parse_instance(text: str, schema: Schema) -> Instance:
+    """Parse ``Relation: (v1, v2), (v3, v4)`` lines into an instance."""
+    instance = Instance(schema)
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        if ":" not in line:
+            raise ParseError(f"expected 'Relation: tuples', got {line!r}", line_number)
+        relation, _, body = line.partition(":")
+        relation = relation.strip()
+        if relation not in schema:
+            raise ParseError(f"unknown relation {relation!r}", line_number)
+        for match in _TUPLE.finditer(body):
+            values = []
+            for piece in match.group(1).split(","):
+                piece = piece.strip()
+                values.append(NULL if piece == "null" else piece)
+            instance.add(relation, tuple(values))
+    return instance

@@ -1,0 +1,85 @@
+"""Human-readable generation reports: what the algorithms decided and why.
+
+Renders the artifacts of a pipeline run the way the paper walks through its
+examples — logical relations, candidate logical mappings with their prune
+reasons (Example 5.2's S1–S7 listing), the identified key conflicts, and the
+final program — so a user can audit why a mapping was (not) generated.
+"""
+
+from __future__ import annotations
+
+from ..core.pipeline import MappingSystem
+from ..core.schema_mapping import SchemaMappingReport
+from .renderer import render_program, render_schema_mapping
+
+
+def render_generation_report(report: SchemaMappingReport) -> str:
+    """The schema-mapping stage: tableaux, candidates, prune log."""
+    lines: list[str] = []
+    lines.append("source logical relations:")
+    for tableau in report.source_tableaux:
+        lines.append(f"  {tableau!r}")
+    lines.append("target logical relations:")
+    for tableau in report.target_tableaux:
+        lines.append(f"  {tableau!r}")
+    lines.append(f"skeletons examined: {report.skeleton_count}")
+    lines.append("candidate logical mappings:")
+    kept_names = {candidate.name for candidate in report.kept}
+    for candidate in report.candidates:
+        marker = "kept  " if candidate.name in kept_names else "pruned"
+        lines.append(f"  [{marker}] {candidate!r}")
+    if report.pruned:
+        lines.append("prune log:")
+        for record in report.pruned:
+            via = f" (by {record.by})" if record.by else ""
+            lines.append(f"  {record.name}: {record.rule}{via} — {record.reason}")
+    return "\n".join(lines)
+
+
+def render_conflict_report(system: MappingSystem) -> str:
+    """The query-generation stage: conflicts, resolution, fusion."""
+    result = system.query_result()
+    lines: list[str] = []
+    lines.append(f"unitary logical mappings: {len(result.unitary)}")
+    for mapping in result.unitary:
+        lines.append(f"  {mapping.name}: {mapping!r}")
+    resolution = result.resolution
+    if resolution is None:
+        lines.append("(basic algorithm: no key management)")
+        return "\n".join(lines)
+    if resolution.conflicts:
+        lines.append("key conflicts:")
+        for conflict in resolution.conflicts:
+            hardness = "hard" if conflict.is_hard else "soft"
+            lines.append(f"  [{hardness}] {conflict}")
+    else:
+        lines.append("no key conflicts")
+    if resolution.fused:
+        lines.append("fused mappings added:")
+        for mapping in resolution.fused:
+            lines.append(f"  {mapping!r}")
+    if resolution.functor_renaming:
+        lines.append("unified Skolem functors:")
+        for old, new in sorted(resolution.functor_renaming.items()):
+            lines.append(f"  {old} -> {new}")
+    return "\n".join(lines)
+
+
+def explain(system: MappingSystem) -> str:
+    """A full audit trail for one MappingSystem run."""
+    sections = [
+        f"=== problem: {system.problem.name} (algorithm: {system.algorithm}) ===",
+        "",
+        "--- schema mapping generation ---",
+        render_generation_report(system.schema_mapping_result().report),
+        "",
+        "--- schema mapping ---",
+        render_schema_mapping(system.schema_mapping),
+        "",
+        "--- query generation ---",
+        render_conflict_report(system),
+        "",
+        "--- transformation ---",
+        render_program(system.transformation),
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the mapping system.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  The two "signal an error and stop" situations of the paper's
+query-generation algorithm (Algorithm 4) have dedicated subclasses:
+:class:`NonFunctionalMappingError` (functionality check fails, paper section 6)
+and :class:`HardKeyConflictError` (an unresolvable key conflict between two
+logical mappings).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """An ill-formed schema: unknown attributes, bad keys, dangling foreign keys."""
+
+
+class WeakAcyclicityError(SchemaError):
+    """The foreign-key constraints do not form a weakly acyclic set.
+
+    The paper requires weak acyclicity (section 3.1) so the modified chase
+    procedure terminates; this error rejects schemas outside that class.
+    """
+
+
+class InstanceError(ReproError):
+    """An instance does not fit its schema (wrong arity, unknown relation)."""
+
+
+class ConstraintViolationError(InstanceError):
+    """An instance violates a declared integrity constraint."""
+
+
+class CorrespondenceError(ReproError):
+    """An ill-formed (referenced-attribute) correspondence."""
+
+
+class MappingGenerationError(ReproError):
+    """Schema-mapping generation could not produce a mapping."""
+
+
+class QueryGenerationError(ReproError):
+    """Query generation failed for a reason other than the two paper errors."""
+
+
+class NonFunctionalMappingError(QueryGenerationError):
+    """A unitary logical mapping can violate the key of its target relation.
+
+    Raised by the functionality check of Algorithm 4, step 2 ("If this is not
+    the case, signal an error and stop").
+    """
+
+
+class HardKeyConflictError(QueryGenerationError):
+    """Two logical mappings copy distinct source values into the same key.
+
+    Raised by Algorithm 4, step 3 for hard (or otherwise unsolvable) key
+    conflicts.
+    """
+
+
+class DatalogError(ReproError):
+    """An ill-formed Datalog program (unsafe rule, unstratifiable negation)."""
+
+
+class EvaluationError(DatalogError):
+    """A runtime failure while evaluating a Datalog program."""
+
+
+class ParseError(ReproError):
+    """A syntax error in the schema / correspondence DSL."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)

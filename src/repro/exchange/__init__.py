@@ -1,0 +1,38 @@
+"""Data-exchange semantics: instance chase, universal solutions, metrics."""
+
+from .analysis import TransformationAnalysis, analyze_transformation
+from .instance_chase import (
+    EgdChaseResult,
+    canonical_universal_solution,
+    chase_with_key_egds,
+    chase_with_tgds,
+)
+from .metrics import InstanceMetrics, comparison_table, measure_instance
+from .queries import ConjunctiveQuery, certain_answers, evaluate_query, parse_query, query
+from .solutions import (
+    find_instance_homomorphism,
+    homomorphically_equivalent,
+    is_homomorphic_to,
+    is_universal_solution,
+)
+
+__all__ = [
+    "ConjunctiveQuery",
+    "TransformationAnalysis",
+    "analyze_transformation",
+    "EgdChaseResult",
+    "certain_answers",
+    "evaluate_query",
+    "parse_query",
+    "query",
+    "InstanceMetrics",
+    "canonical_universal_solution",
+    "chase_with_key_egds",
+    "chase_with_tgds",
+    "comparison_table",
+    "find_instance_homomorphism",
+    "homomorphically_equivalent",
+    "is_homomorphic_to",
+    "is_universal_solution",
+    "measure_instance",
+]

@@ -1,0 +1,99 @@
+"""Quality metrics for transformation outputs.
+
+Quantifies the paper's informal "more desirable" (section 2): fewer useless
+tuples (tuples carrying only invented or null values besides nothing of the
+source), fewer invented values, and no key violations.  The scaling
+benchmarks report these side by side for the basic and the novel pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model.instance import Instance
+from ..model.validation import validate_instance
+from ..model.values import is_labeled_null, is_null
+
+
+@dataclass
+class InstanceMetrics:
+    """Counts describing the quality of a (target) instance."""
+
+    total_tuples: int
+    constants: int
+    null_values: int
+    invented_values: int  # occurrences of labeled nulls
+    distinct_invented: int  # distinct labeled nulls
+    useless_tuples: int  # tuples with no constant at all
+    partially_invented_tuples: int  # tuples mixing constants and invented values
+    key_violations: int
+    fk_violations: int
+    null_violations: int
+
+    @property
+    def ok(self) -> bool:
+        return not (self.key_violations or self.fk_violations or self.null_violations)
+
+    def as_row(self) -> dict[str, int]:
+        return {
+            "tuples": self.total_tuples,
+            "invented": self.distinct_invented,
+            "nulls": self.null_values,
+            "useless": self.useless_tuples,
+            "key-violations": self.key_violations,
+            "fk-violations": self.fk_violations,
+        }
+
+
+def measure_instance(instance: Instance) -> InstanceMetrics:
+    """Compute all quality metrics for an instance."""
+    constants = nulls = invented = 0
+    useless = partially = 0
+    distinct: set = set()
+    for _relation, row in instance.facts():
+        row_constants = row_invented = 0
+        for value in row:
+            if is_null(value):
+                nulls += 1
+            elif is_labeled_null(value):
+                invented += 1
+                row_invented += 1
+                distinct.add(value)
+            else:
+                constants += 1
+                row_constants += 1
+        if row_constants == 0:
+            useless += 1
+        elif row_invented > 0:
+            partially += 1
+    report = validate_instance(instance)
+    return InstanceMetrics(
+        total_tuples=instance.total_size(),
+        constants=constants,
+        null_values=nulls,
+        invented_values=invented,
+        distinct_invented=len(distinct),
+        useless_tuples=useless,
+        partially_invented_tuples=partially,
+        key_violations=len(report.key_violations),
+        fk_violations=len(report.foreign_key_violations),
+        null_violations=len(report.null_violations),
+    )
+
+
+def comparison_table(results: dict[str, Instance]) -> str:
+    """A small aligned table comparing instances by name (for benchmarks)."""
+    rows = {name: measure_instance(instance).as_row() for name, instance in results.items()}
+    if not rows:
+        return "(no results)"
+    columns = list(next(iter(rows.values())))
+    widths = {c: max(len(c), *(len(str(r[c])) for r in rows.values())) for c in columns}
+    name_width = max(len(n) for n in rows)
+    lines = [
+        " ".join(["pipeline".ljust(name_width)] + [c.rjust(widths[c]) for c in columns])
+    ]
+    for name, row in rows.items():
+        lines.append(
+            " ".join([name.ljust(name_width)] + [str(row[c]).rjust(widths[c]) for c in columns])
+        )
+    return "\n".join(lines)

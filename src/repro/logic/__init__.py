@@ -1,0 +1,54 @@
+"""Logical formalism substrate: terms, atoms, tableaux, tgds, satisfiability."""
+
+from .atoms import Equality, NegatedPremise, RelationalAtom, atoms_variables, iter_positions
+from .homomorphism import embeds, find_homomorphism
+from .mappings import LogicalMapping, Premise, SchemaMapping, UnitaryMapping
+from .satisfiability import SAT, UNSAT, TermSolver, check_equal_and_differ
+from .tableau import MAND, NONE, NONNULL, NULL, PartialTableau
+from .terms import (
+    NULL_TERM,
+    Constant,
+    NullTerm,
+    SkolemTerm,
+    Term,
+    Variable,
+    VariableFactory,
+    is_null_term,
+    is_skolem,
+    is_variable,
+    term_variables,
+)
+
+__all__ = [
+    "Constant",
+    "Equality",
+    "LogicalMapping",
+    "MAND",
+    "NONE",
+    "NONNULL",
+    "NULL",
+    "NULL_TERM",
+    "NegatedPremise",
+    "NullTerm",
+    "PartialTableau",
+    "Premise",
+    "RelationalAtom",
+    "SAT",
+    "SchemaMapping",
+    "SkolemTerm",
+    "Term",
+    "TermSolver",
+    "UNSAT",
+    "UnitaryMapping",
+    "Variable",
+    "VariableFactory",
+    "atoms_variables",
+    "check_equal_and_differ",
+    "embeds",
+    "find_homomorphism",
+    "is_null_term",
+    "is_skolem",
+    "is_variable",
+    "iter_positions",
+    "term_variables",
+]

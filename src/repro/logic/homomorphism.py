@@ -1,0 +1,94 @@
+"""Homomorphisms between sets of relational atoms.
+
+Used for the sub-tableau relation of the pruning phase (a tableau ``T'`` is a
+sub-tableau of ``T`` when ``T``'s atoms embed into ``T'``'s), and for
+Datalog rule subsumption.  A homomorphism maps every pattern atom onto some
+target atom of the same relation, sending variables to terms consistently;
+non-variable pattern terms must match the corresponding target term exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from .atoms import RelationalAtom
+from .terms import Term, Variable
+
+Assignment = dict[Variable, Term]
+
+
+def find_homomorphism(
+    pattern: Sequence[RelationalAtom],
+    target: Sequence[RelationalAtom],
+    fixed: Mapping[Variable, Term] | None = None,
+    var_check: Callable[[Variable, Term], bool] | None = None,
+) -> Assignment | None:
+    """Find a homomorphism from ``pattern`` into ``target``.
+
+    ``fixed`` pre-binds pattern variables (e.g. shared source variables that
+    must map to themselves).  ``var_check(v, t)`` can veto individual bindings
+    (e.g. to require null-condition compatibility).  Returns the full
+    assignment, or ``None`` if no homomorphism exists.
+    """
+    assignment: Assignment = dict(fixed or {})
+    by_relation: dict[str, list[RelationalAtom]] = {}
+    for atom in target:
+        by_relation.setdefault(atom.relation, []).append(atom)
+
+    # Most-constrained-first: atoms with fewer candidate targets first.
+    order = sorted(
+        range(len(pattern)),
+        key=lambda i: len(by_relation.get(pattern[i].relation, ())),
+    )
+
+    def try_bind(pattern_atom: RelationalAtom, target_atom: RelationalAtom) -> list[Variable] | None:
+        """Extend the assignment; return newly bound vars, or None on clash."""
+        if len(pattern_atom.terms) != len(target_atom.terms):
+            return None
+        new_vars: list[Variable] = []
+        for p_term, t_term in zip(pattern_atom.terms, target_atom.terms):
+            if isinstance(p_term, Variable):
+                bound = assignment.get(p_term)
+                if bound is None:
+                    if var_check is not None and not var_check(p_term, t_term):
+                        for v in new_vars:
+                            del assignment[v]
+                        return None
+                    assignment[p_term] = t_term
+                    new_vars.append(p_term)
+                elif bound != t_term:
+                    for v in new_vars:
+                        del assignment[v]
+                    return None
+            elif p_term != t_term:
+                for v in new_vars:
+                    del assignment[v]
+                return None
+        return new_vars
+
+    def search(k: int) -> bool:
+        if k == len(order):
+            return True
+        pattern_atom = pattern[order[k]]
+        for target_atom in by_relation.get(pattern_atom.relation, ()):
+            new_vars = try_bind(pattern_atom, target_atom)
+            if new_vars is None:
+                continue
+            if search(k + 1):
+                return True
+            for v in new_vars:
+                del assignment[v]
+        return False
+
+    if search(0):
+        return assignment
+    return None
+
+
+def embeds(
+    pattern: Sequence[RelationalAtom],
+    target: Sequence[RelationalAtom],
+    fixed: Mapping[Variable, Term] | None = None,
+) -> bool:
+    """True iff a homomorphism from ``pattern`` into ``target`` exists."""
+    return find_homomorphism(pattern, target, fixed) is not None

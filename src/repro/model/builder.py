@@ -1,0 +1,67 @@
+"""A small fluent builder for schemas.
+
+Keeps scenario definitions compact and readable::
+
+    schema = (
+        SchemaBuilder("CARS3")
+        .relation("P3", "person", "name", "email", key="person")
+        .relation("C3", "car", "model", key="car")
+        .relation("O3", "car", "person", key="car")
+        .foreign_key("O3", "car", "C3")
+        .foreign_key("O3", "person", "P3")
+        .build()
+    )
+
+An attribute name ending in ``?`` declares the attribute nullable, matching
+the paper's ``null`` superscript: ``"person?"`` is a nullable ``person``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import SchemaError
+from .schema import Attribute, ForeignKey, RelationSchema, Schema
+
+
+def parse_attribute(spec: str | Attribute) -> Attribute:
+    """Parse ``"name"`` / ``"name?"`` (nullable) into an :class:`Attribute`."""
+    if isinstance(spec, Attribute):
+        return spec
+    if spec.endswith("?"):
+        return Attribute(spec[:-1], nullable=True)
+    return Attribute(spec)
+
+
+class SchemaBuilder:
+    """Accumulates relations and foreign keys, then builds a validated Schema."""
+
+    def __init__(self, name: str = "schema"):
+        self._name = name
+        self._relations: list[RelationSchema] = []
+        self._foreign_keys: list[ForeignKey] = []
+
+    def relation(
+        self,
+        name: str,
+        *attributes: str | Attribute,
+        key: str | Iterable[str] | None = None,
+    ) -> "SchemaBuilder":
+        """Add a relation; the first attribute is the key unless ``key`` is given."""
+        parsed = [parse_attribute(a) for a in attributes]
+        self._relations.append(RelationSchema(name, parsed, key=key))
+        return self
+
+    def foreign_key(self, relation: str, attribute: str, referenced: str) -> "SchemaBuilder":
+        """Declare ``relation.attribute`` as a foreign key into ``referenced``."""
+        self._foreign_keys.append(ForeignKey(relation, attribute, referenced))
+        return self
+
+    def build(self, validate: bool = True) -> Schema:
+        """Build the schema; by default also checks weak acyclicity."""
+        if not self._relations:
+            raise SchemaError(f"schema {self._name!r} has no relations")
+        schema = Schema(self._relations, self._foreign_keys, name=self._name)
+        if validate:
+            schema.validate()
+        return schema

@@ -1,0 +1,79 @@
+"""Instance diffing: what changed between two instances of one schema.
+
+Useful when comparing transformation outputs (engine vs SQLite, basic vs
+novel, output vs expected figure) — the tests and CLI use it to show *which*
+tuples differ instead of a bare inequality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import InstanceError
+from .instance import Instance, Row
+from .values import format_value
+
+
+@dataclass
+class RelationDiff:
+    """Tuples only in the left / only in the right instance, per relation."""
+
+    relation: str
+    only_left: list[Row] = field(default_factory=list)
+    only_right: list[Row] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.only_left and not self.only_right
+
+
+@dataclass
+class InstanceDiff:
+    """A full diff between two instances over the same schema."""
+
+    relations: dict[str, RelationDiff] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return all(d.empty for d in self.relations.values())
+
+    def changed_relations(self) -> list[str]:
+        return [name for name, d in self.relations.items() if not d.empty]
+
+    def __len__(self) -> int:
+        return sum(
+            len(d.only_left) + len(d.only_right) for d in self.relations.values()
+        )
+
+    def to_text(self) -> str:
+        """A unified-diff-style rendering (``-`` left only, ``+`` right only)."""
+        if self.empty:
+            return "(instances are equal)"
+        lines: list[str] = []
+        for name in self.changed_relations():
+            diff = self.relations[name]
+            lines.append(f"@@ {name} @@")
+            for row in diff.only_left:
+                lines.append("- (" + ", ".join(format_value(v) for v in row) + ")")
+            for row in diff.only_right:
+                lines.append("+ (" + ", ".join(format_value(v) for v in row) + ")")
+        return "\n".join(lines)
+
+
+def diff_instances(left: Instance, right: Instance) -> InstanceDiff:
+    """Compute the per-relation symmetric difference of two instances."""
+    if left.schema.relation_names() != right.schema.relation_names():
+        raise InstanceError(
+            "cannot diff instances over different schemas: "
+            f"{left.schema.name!r} vs {right.schema.name!r}"
+        )
+    result = InstanceDiff()
+    for name in left.schema.relation_names():
+        left_rows = set(left.relation(name).rows)
+        right_rows = set(right.relation(name).rows)
+        result.relations[name] = RelationDiff(
+            relation=name,
+            only_left=sorted(left_rows - right_rows, key=repr),
+            only_right=sorted(right_rows - left_rows, key=repr),
+        )
+    return result

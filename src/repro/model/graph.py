@@ -1,0 +1,128 @@
+"""Foreign-key dependency graph and the weak-acyclicity test.
+
+The paper (section 3.1) guarantees chase termination by requiring the foreign
+keys to form a *weakly acyclic* set, with the dependency graph built as:
+
+* a node for each attribute ``R.A`` of the schema;
+* an ordinary edge ``R1.A1 → R2.A2`` for each foreign key ``R1.A1 ⊆ R2.A2``;
+* a *special* edge ``R1.A1 ⇒ R2.A'`` for each such foreign key and every
+  attribute ``A'`` of ``R2`` other than ``A2`` (the existentially generated
+  positions).
+
+The set is weakly acyclic iff no cycle goes through a special edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import WeakAcyclicityError
+from .schema import Schema
+
+Node = tuple[str, str]  # (relation, attribute)
+
+
+@dataclass
+class DependencyGraph:
+    """The FK dependency graph of a schema, with ordinary and special edges."""
+
+    nodes: list[Node] = field(default_factory=list)
+    ordinary_edges: list[tuple[Node, Node]] = field(default_factory=list)
+    special_edges: list[tuple[Node, Node]] = field(default_factory=list)
+
+    def all_edges(self) -> list[tuple[Node, Node, bool]]:
+        """All edges as ``(src, dst, is_special)`` triples."""
+        edges = [(a, b, False) for a, b in self.ordinary_edges]
+        edges.extend((a, b, True) for a, b in self.special_edges)
+        return edges
+
+
+def build_dependency_graph(schema: Schema) -> DependencyGraph:
+    """Build the paper's dependency graph for ``schema``'s foreign keys."""
+    graph = DependencyGraph()
+    for rel in schema:
+        for attr in rel.attribute_names:
+            graph.nodes.append((rel.name, attr))
+    for fk in schema.foreign_keys:
+        target = schema.relation(fk.referenced)
+        key_attr = target.key[0]
+        src: Node = (fk.relation, fk.attribute)
+        graph.ordinary_edges.append((src, (fk.referenced, key_attr)))
+        for other in target.attribute_names:
+            if other != key_attr:
+                graph.special_edges.append((src, (fk.referenced, other)))
+    return graph
+
+
+def is_weakly_acyclic(schema: Schema) -> bool:
+    """True iff the schema's foreign keys form a weakly acyclic set."""
+    return find_special_cycle(schema) is None
+
+
+def find_special_cycle(schema: Schema) -> list[Node] | None:
+    """Return a cycle through a special edge if one exists, else ``None``.
+
+    A cycle goes "through a special edge" iff some special edge ``u ⇒ v`` has
+    ``v`` able to reach ``u``.  We compute reachability over all edges and test
+    each special edge.  The returned witness is ``[u, v, ..., u]``.
+    """
+    graph = build_dependency_graph(schema)
+    adjacency: dict[Node, list[Node]] = {n: [] for n in graph.nodes}
+    for a, b, _special in graph.all_edges():
+        adjacency[a].append(b)
+
+    def path(start: Node, goal: Node) -> list[Node] | None:
+        """A path from start to goal (DFS), or None."""
+        stack: list[tuple[Node, list[Node]]] = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, trail = stack.pop()
+            if node == goal:
+                return trail
+            for nxt in adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, trail + [nxt]))
+        return None
+
+    for u, v in graph.special_edges:
+        back = path(v, u)
+        if back is not None:
+            return [u] + back
+    return None
+
+
+def check_weak_acyclicity(schema: Schema) -> None:
+    """Raise :class:`WeakAcyclicityError` if the schema is not weakly acyclic."""
+    cycle = find_special_cycle(schema)
+    if cycle is not None:
+        pretty = " -> ".join(f"{r}.{a}" for r, a in cycle)
+        raise WeakAcyclicityError(
+            f"schema {schema.name!r}: foreign keys are not weakly acyclic "
+            f"(cycle through a special edge: {pretty})"
+        )
+
+
+def chase_order(schema: Schema) -> list[str]:
+    """Relations ordered so FK targets come before FK sources where possible.
+
+    Used to pick deterministic processing orders; falls back to declaration
+    order inside strongly connected components (which weak acyclicity keeps
+    harmless for termination).
+    """
+    order: list[str] = []
+    visited: set[str] = set()
+
+    def visit(name: str, stack: set[str]) -> None:
+        if name in visited or name in stack:
+            return
+        stack.add(name)
+        for fk in schema.foreign_keys_of(name):
+            visit(fk.referenced, stack)
+        stack.discard(name)
+        visited.add(name)
+        order.append(name)
+
+    for rel in schema.relation_names():
+        visit(rel, set())
+    return order

@@ -1,0 +1,267 @@
+"""One-command reproduction of every figure and example of the paper.
+
+:func:`reproduce_all` re-runs each experiment of the per-experiment index
+(DESIGN.md) against its expected outcome and reports a verdict:
+
+* ``exact``  — the paper's instance/program/mapping reproduced verbatim;
+* ``shape``  — reproduced up to invented-value naming (the expected
+  structural assertions hold);
+* ``FAIL``   — the expectation does not hold (never expected).
+
+Exposed on the command line as ``python -m repro reproduce``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .core.pipeline import MappingSystem
+from .core.schema_mapping import BASIC
+from .exchange.instance_chase import canonical_universal_solution
+from .exchange.metrics import measure_instance
+from .model.values import is_labeled_null
+from .scenarios import appendix_a, cars
+from .scenarios.appendix_c import example_c4_problem
+
+
+@dataclass
+class ExperimentResult:
+    """The verdict for one paper experiment."""
+
+    experiment: str
+    claim: str
+    verdict: str  # "exact" | "shape" | "FAIL"
+    detail: str = ""
+
+
+def _result(experiment: str, claim: str, ok: bool, exact: bool, detail: str = ""):
+    verdict = "FAIL" if not ok else ("exact" if exact else "shape")
+    return ExperimentResult(experiment, claim, verdict, detail)
+
+
+def _figure_2_and_3() -> list[ExperimentResult]:
+    problem = cars.figure1_problem()
+    source = cars.cars3_source_instance()
+    novel = MappingSystem(problem).transform(source)
+    basic = MappingSystem(problem, algorithm=BASIC).transform(source)
+    basic_metrics = measure_instance(basic)
+    results = [
+        _result(
+            "Figure 3",
+            "novel transformation: null owner, no duplicates",
+            novel == cars.figure3_expected_target(),
+            exact=True,
+        ),
+        _result(
+            "Figure 2",
+            "basic transformation: 7 tuples, 1 key violation, 2 useless",
+            basic_metrics.total_tuples == 7
+            and basic_metrics.key_violations == 1
+            and basic_metrics.useless_tuples == 2,
+            exact=False,
+            detail=f"{basic_metrics.as_row()}",
+        ),
+    ]
+    canonical = canonical_universal_solution(
+        MappingSystem(problem).schema_mapping,
+        source,
+        null_for_nullable_existentials=True,
+    )
+    results.append(
+        _result(
+            "Section 8",
+            "novel output equals the canonical universal solution (null policy)",
+            novel == canonical,
+            exact=True,
+        )
+    )
+    return results
+
+
+def _figures_5_and_6() -> list[ExperimentResult]:
+    source = cars.cars3_source_instance()
+    plain = MappingSystem(cars.figure4_problem()).transform(source)
+    invented = [r for r in plain.relation("C1") if is_labeled_null(r[0])]
+    ra = MappingSystem(cars.figure4_ra_problem()).transform(source)
+    return [
+        _result(
+            "Figure 5",
+            "plain correspondences invent one car per person",
+            len(invented) == 2 and len(plain.relation("C1")) == 4,
+            exact=False,
+        ),
+        _result(
+            "Figure 6",
+            "r-a correspondence gives the natural instance",
+            ra == cars.figure6_expected_target(),
+            exact=True,
+        ),
+    ]
+
+
+def _figure_8() -> list[ExperimentResult]:
+    output = MappingSystem(cars.figure7_problem(), algorithm=BASIC).transform(
+        cars.figure8_source_instance()
+    )
+    return [
+        _result(
+            "Figure 8",
+            "baseline CARS2a -> CARS3 transformation",
+            output == cars.figure8_expected_target(),
+            exact=True,
+        )
+    ]
+
+
+def _figure_9() -> list[ExperimentResult]:
+    output = MappingSystem(cars.figure9_problem()).transform(
+        cars.cars3_source_instance()
+    )
+    rows = {row[0]: row for row in output.relation("C1a")}
+    ok = (
+        len(rows) == 2
+        and rows["c85"][2] == "MJ"
+        and is_labeled_null(rows["c86"][2])
+    )
+    return [
+        _result(
+            "Figure 9 / Ex 4.1",
+            "mandatory names invented only for ownerless cars",
+            ok,
+            exact=False,
+        )
+    ]
+
+
+def _figure_11() -> list[ExperimentResult]:
+    output = MappingSystem(cars.figure10_problem()).transform(
+        cars.cars3_source_instance()
+    )
+    owners = {row[0]: row[2] for row in output.relation("C2a")}
+    ok = (
+        len(output.relation("P2a")) == 3
+        and owners["c85"] == "p22"
+        and is_labeled_null(owners["c86"])
+    )
+    return [
+        _result(
+            "Figure 11 / Ex C.1",
+            "one invented owner, c85 keeps p22, key satisfied",
+            ok,
+            exact=False,
+        )
+    ]
+
+
+def _figures_13_and_15() -> list[ExperimentResult]:
+    c2 = MappingSystem(cars.figure12_problem()).transform(
+        cars.figure13_source_instance()
+    )
+    c3 = MappingSystem(cars.figure14_problem()).transform(
+        cars.figure15_source_instance()
+    )
+    return [
+        _result(
+            "Figure 13 / Ex C.2",
+            "owner and driver names fused per car (names, see EXPERIMENTS.md)",
+            c2 == cars.figure13_expected_target(),
+            exact=True,
+        ),
+        _result(
+            "Figure 15 / Ex C.3",
+            "nullable source attribute handled by premise conditions",
+            c3 == cars.figure15_expected_target(),
+            exact=True,
+        ),
+    ]
+
+
+def _example_5_2_and_6_8() -> list[ExperimentResult]:
+    system = MappingSystem(cars.figure1_problem())
+    mapping_count = len(system.schema_mapping)
+    heads = sorted(r.head_relation for r in system.transformation.rules)
+    return [
+        _result(
+            "Example 5.2",
+            "three logical mappings survive pruning",
+            mapping_count == 3,
+            exact=True,
+        ),
+        _result(
+            "Example 6.8",
+            "final program: P2, C2 x2, OCtmp",
+            heads == ["C2", "C2", "OCtmp", "P2"],
+            exact=True,
+        ),
+    ]
+
+
+def _example_c4() -> list[ExperimentResult]:
+    system = MappingSystem(example_c4_problem())
+    t_rules = system.transformation.rules_for("T")
+    fused = system.query_result().resolution.fused
+    return [
+        _result(
+            "Example C.4",
+            "3 rewritten + 4 fused mappings over the three-way conflict",
+            len(t_rules) == 7 and len(fused) == 4,
+            exact=True,
+        )
+    ]
+
+
+def _appendix_a() -> list[ExperimentResult]:
+    results = []
+    for name in sorted(appendix_a.ALL_EXAMPLES):
+        problem = appendix_a.ALL_EXAMPLES[name]()
+        count = len(MappingSystem(problem).schema_mapping)
+        expected = appendix_a.EXPECTED_MAPPINGS[name]
+        results.append(
+            _result(
+                f"Example {name}",
+                f"{expected} desired logical mapping(s)",
+                count == expected,
+                exact=True,
+                detail=f"got {count}",
+            )
+        )
+    return results
+
+
+def reproduce_all() -> list[ExperimentResult]:
+    """Re-run every indexed experiment and collect the verdicts."""
+    results: list[ExperimentResult] = []
+    for section in (
+        _figure_2_and_3,
+        _figures_5_and_6,
+        _figure_8,
+        _figure_9,
+        _figure_11,
+        _figures_13_and_15,
+        _example_5_2_and_6_8,
+        _example_c4,
+        _appendix_a,
+    ):
+        results.extend(section())
+    return results
+
+
+def render_reproduction_table(results: list[ExperimentResult]) -> str:
+    """An aligned verdict table for terminal output."""
+    name_width = max(len(r.experiment) for r in results)
+    verdict_width = max(len(r.verdict) for r in results)
+    lines = []
+    for result in results:
+        lines.append(
+            f"{result.experiment.ljust(name_width)}  "
+            f"[{result.verdict.ljust(verdict_width)}]  {result.claim}"
+        )
+    failed = sum(1 for r in results if r.verdict == "FAIL")
+    exact = sum(1 for r in results if r.verdict == "exact")
+    shape = sum(1 for r in results if r.verdict == "shape")
+    lines.append("")
+    lines.append(
+        f"{len(results)} experiments: {exact} exact, {shape} shape, {failed} failed"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Every scenario of the paper plus synthetic scaled workloads."""
+
+from . import appendix_a, appendix_b, appendix_c, cars, composite, publications, synthetic
+from .cars import all_problems
+
+__all__ = [
+    "all_problems",
+    "appendix_a",
+    "appendix_b",
+    "appendix_c",
+    "cars",
+    "composite",
+    "publications",
+    "synthetic",
+]

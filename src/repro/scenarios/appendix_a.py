@@ -1,0 +1,162 @@
+"""Appendix A micro-scenarios: the nullable-attribute case analysis.
+
+Examples A.1–A.10 of the paper motivate each nullable-related pruning rule
+with a tiny person schema.  Each function returns the
+:class:`~repro.core.pipeline.MappingProblem`; :data:`EXPECTED_MAPPINGS`
+records how many logical mappings the desired schema mapping has, which the
+tests and the Appendix-A benchmark assert.
+"""
+
+from __future__ import annotations
+
+from ..core.pipeline import MappingProblem
+from ..model.builder import SchemaBuilder
+from ..model.schema import Schema
+
+
+def _schema(name: str, *relations) -> Schema:
+    """Build a schema from ``(relation, attributes[, foreign_keys])`` triples."""
+    builder = SchemaBuilder(name)
+    for relation in relations:
+        builder.relation(relation[0], *relation[1])
+    for relation in relations:
+        if len(relation) > 2:
+            for attribute, referenced in relation[2]:
+                builder.foreign_key(relation[0], attribute, referenced)
+    return builder.build()
+
+
+def _problem(name, source, target, pairs) -> MappingProblem:
+    problem = MappingProblem(source, target, name=name)
+    for s, t in pairs:
+        problem.add_correspondence(s, t)
+    return problem
+
+
+def example_a1() -> MappingProblem:
+    """A.1: all-mandatory copy, the simplest case."""
+    source = _schema("A1s", ("Ps", ("person", "name", "email")))
+    target = _schema("A1t", ("Pt", ("person", "name", "email")))
+    return _problem(
+        "A.1", source, target,
+        [("Ps.person", "Pt.person"), ("Ps.name", "Pt.name"), ("Ps.email", "Pt.email")],
+    )
+
+
+def example_a2() -> MappingProblem:
+    """A.2: the target key is not mapped (skolemized key)."""
+    source = _schema("A2s", ("Ps", ("person", "name", "email")))
+    target = _schema("A2t", ("Pt", ("pid", "name", "email")))
+    return _problem(
+        "A.2", source, target, [("Ps.name", "Pt.name"), ("Ps.email", "Pt.email")]
+    )
+
+
+def example_a3() -> MappingProblem:
+    """A.3: an unmapped mandatory target attribute (skolemized)."""
+    source = _schema("A3s", ("Ps", ("person", "name")))
+    target = _schema("A3t", ("Pt", ("person", "name", "email")))
+    return _problem(
+        "A.3", source, target, [("Ps.person", "Pt.person"), ("Ps.name", "Pt.name")]
+    )
+
+
+def example_a4() -> MappingProblem:
+    """A.4: an unmapped *nullable* target attribute gets null, not a Skolem."""
+    source = _schema("A4s", ("Ps", ("person", "name")))
+    target = _schema("A4t", ("Pt", ("person", "name", "email?")))
+    return _problem(
+        "A.4", source, target, [("Ps.person", "Pt.person"), ("Ps.name", "Pt.name")]
+    )
+
+
+def example_a5() -> MappingProblem:
+    """A.5: a nullable FK that must be followed (data moves behind it)."""
+    source = _schema("A5s", ("Ps", ("person", "name", "email")))
+    target = _schema(
+        "A5t",
+        ("Pt", ("person", "data?"), [("data", "PDt")]),
+        ("PDt", ("data", "name", "email")),
+    )
+    return _problem(
+        "A.5", source, target,
+        [("Ps.person", "Pt.person"), ("Ps.name", "PDt.name"), ("Ps.email", "PDt.email")],
+    )
+
+
+def example_a6() -> MappingProblem:
+    """A.6: a nullable FK that must be nulled (nothing moves behind it)."""
+    source = _schema("A6s", ("Ps", ("person", "name")))
+    target = _schema(
+        "A6t",
+        ("Pt", ("person", "data?"), [("data", "PDt")]),
+        ("PDt", ("data", "email")),
+    )
+    return _problem("A.6", source, target, [("Ps.person", "Pt.person")])
+
+
+def example_a7() -> MappingProblem:
+    """A.7: nullable source, mandatory target — split on the source null."""
+    source = _schema("A7s", ("Ps", ("person", "name", "email?")))
+    target = _schema("A7t", ("Pt", ("person", "name", "email")))
+    return _problem(
+        "A.7", source, target,
+        [("Ps.person", "Pt.person"), ("Ps.name", "Pt.name"), ("Ps.email", "Pt.email")],
+    )
+
+
+def example_a8() -> MappingProblem:
+    """A.8: mandatory source, nullable target — a single non-null mapping."""
+    source = _schema("A8s", ("Ps", ("person", "name", "email")))
+    target = _schema("A8t", ("Pt", ("person", "name", "email?")))
+    return _problem(
+        "A.8", source, target,
+        [("Ps.person", "Pt.person"), ("Ps.name", "Pt.name"), ("Ps.email", "Pt.email")],
+    )
+
+
+def example_a9() -> MappingProblem:
+    """A.9: nullable on both sides — null propagates, non-null copies."""
+    source = _schema("A9s", ("Ps", ("person", "name", "email?")))
+    target = _schema("A9t", ("Pt", ("person", "name", "email?")))
+    return _problem(
+        "A.9", source, target,
+        [("Ps.person", "Pt.person"), ("Ps.name", "Pt.name"), ("Ps.email", "Pt.email")],
+    )
+
+
+def example_a10() -> MappingProblem:
+    """A.10: nullable source attribute absent from the target."""
+    source = _schema("A10s", ("Ps", ("person", "name", "email?")))
+    target = _schema("A10t", ("Pt", ("person", "name")))
+    return _problem(
+        "A.10", source, target, [("Ps.person", "Pt.person"), ("Ps.name", "Pt.name")]
+    )
+
+
+ALL_EXAMPLES = {
+    "A.1": example_a1,
+    "A.2": example_a2,
+    "A.3": example_a3,
+    "A.4": example_a4,
+    "A.5": example_a5,
+    "A.6": example_a6,
+    "A.7": example_a7,
+    "A.8": example_a8,
+    "A.9": example_a9,
+    "A.10": example_a10,
+}
+
+#: Number of logical mappings in each example's desired schema mapping.
+EXPECTED_MAPPINGS = {
+    "A.1": 1,
+    "A.2": 1,
+    "A.3": 1,
+    "A.4": 1,
+    "A.5": 1,
+    "A.6": 1,
+    "A.7": 2,
+    "A.8": 1,
+    "A.9": 2,
+    "A.10": 2,
+}

@@ -1,0 +1,176 @@
+"""Appendix B scenarios: the skolemization-strategy comparison.
+
+Examples B.1–B.5 start from a *given* logical schema mapping (not from
+correspondences) and compare the target instances computed under the four
+skolemization procedures.  Each scenario here provides the schemas, the
+logical mapping (built directly, as in the paper), and the student source
+instance the appendix evaluates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic.atoms import RelationalAtom
+from ..logic.mappings import LogicalMapping, Premise, SchemaMapping
+from ..logic.terms import Variable
+from ..model.builder import SchemaBuilder
+from ..model.instance import Instance, instance_from_dict
+from ..model.schema import Schema
+
+
+@dataclass
+class SkolemScenario:
+    """One Appendix-B example: schemas, the logical mapping, the instance."""
+
+    name: str
+    source_schema: Schema
+    target_schema: Schema
+    schema_mapping: SchemaMapping
+    source_instance: Instance
+
+
+def _mapping(source, target, premise_atoms, consequent_atoms) -> SchemaMapping:
+    mapping = SchemaMapping(source, target)
+    mapping.mappings.append(
+        LogicalMapping(
+            premise=Premise(atoms=tuple(premise_atoms)),
+            consequent=tuple(consequent_atoms),
+            label="m1",
+        )
+    )
+    return mapping
+
+
+def _students_instance(schema: Schema) -> Instance:
+    return instance_from_dict(
+        schema,
+        {
+            "Students": [
+                ("a", "john", "math"),
+                ("b", "john", "math"),
+                ("c", "mary", "math"),
+                ("d", "mary", "cs"),
+            ]
+        },
+    )
+
+
+def example_b1() -> SkolemScenario:
+    """B.1: invented target key, copied name and school."""
+    source = SchemaBuilder("B1s").relation("Students", "id", "name", "school").build()
+    target = SchemaBuilder("B1t").relation("Studentt", "key", "name", "school").build()
+    i, n, s, k = Variable("id"), Variable("n"), Variable("s"), Variable("key")
+    mapping = _mapping(
+        source, target,
+        [RelationalAtom("Students", (i, n, s))],
+        [RelationalAtom("Studentt", (k, n, s))],
+    )
+    return SkolemScenario("B.1", source, target, mapping, _students_instance(source))
+
+
+def example_b2() -> SkolemScenario:
+    """B.2: invented key *and* invented non-key email."""
+    source = SchemaBuilder("B2s").relation("Students", "id", "name", "school").build()
+    target = SchemaBuilder("B2t").relation("Studentt", "key", "name", "email").build()
+    i, n, s = Variable("id"), Variable("n"), Variable("s")
+    k, e = Variable("key"), Variable("e")
+    mapping = _mapping(
+        source, target,
+        [RelationalAtom("Students", (i, n, s))],
+        [RelationalAtom("Studentt", (k, n, e))],
+    )
+    return SkolemScenario("B.2", source, target, mapping, _students_instance(source))
+
+
+def example_b3() -> SkolemScenario:
+    """B.3: an invented value linking a foreign key to a referenced key."""
+    source = SchemaBuilder("B3s").relation("Students", "id", "name", "schoolname").build()
+    target = (
+        SchemaBuilder("B3t")
+        .relation("Studentt", "id", "name", "sid")
+        .relation("Schoolt", "sid", "schoolname")
+        .foreign_key("Studentt", "sid", "Schoolt")
+        .build()
+    )
+    i, n, sn, sid = Variable("id"), Variable("n"), Variable("sn"), Variable("sid")
+    mapping = _mapping(
+        source, target,
+        [RelationalAtom("Students", (i, n, sn))],
+        [
+            RelationalAtom("Studentt", (i, n, sid)),
+            RelationalAtom("Schoolt", (sid, sn)),
+        ],
+    )
+    return SkolemScenario("B.3", source, target, mapping, _students_instance(source))
+
+
+def example_b4() -> SkolemScenario:
+    """B.4: an invented non-key value in a relation whose key is copied."""
+    source = (
+        SchemaBuilder("B4s")
+        .relation("Students", "id", "name", "sid")
+        .relation("Schools", "sid", "scname")
+        .foreign_key("Students", "sid", "Schools")
+        .build()
+    )
+    target = (
+        SchemaBuilder("B4t")
+        .relation("Studentt", "id", "name", "sid")
+        .relation("Schoolt", "sid", "scname", "city")
+        .foreign_key("Studentt", "sid", "Schoolt")
+        .build()
+    )
+    i, n, s, sc, city = (
+        Variable("id"),
+        Variable("n"),
+        Variable("sid"),
+        Variable("sc"),
+        Variable("city"),
+    )
+    mapping = _mapping(
+        source, target,
+        [
+            RelationalAtom("Students", (i, n, s)),
+            RelationalAtom("Schools", (s, sc)),
+        ],
+        [
+            RelationalAtom("Studentt", (i, n, s)),
+            RelationalAtom("Schoolt", (s, sc, city)),
+        ],
+    )
+    instance = instance_from_dict(
+        source,
+        {
+            "Schools": [("m", "math"), ("c", "cs")],
+            "Students": [
+                ("a", "john", "m"),
+                ("b", "john", "m"),
+                ("c", "mary", "m"),
+                ("d", "mary", "c"),
+            ],
+        },
+    )
+    return SkolemScenario("B.4", source, target, mapping, instance)
+
+
+def example_b5() -> SkolemScenario:
+    """B.5: an invented key with nothing but a copied non-key attribute."""
+    source = SchemaBuilder("B5s").relation("Students", "id", "name", "schoolname").build()
+    target = SchemaBuilder("B5t").relation("Schoolt", "sid", "schoolname").build()
+    i, n, sn, sid = Variable("id"), Variable("n"), Variable("sn"), Variable("sid")
+    mapping = _mapping(
+        source, target,
+        [RelationalAtom("Students", (i, n, sn))],
+        [RelationalAtom("Schoolt", (sid, sn))],
+    )
+    return SkolemScenario("B.5", source, target, mapping, _students_instance(source))
+
+
+ALL_SCENARIOS = {
+    "B.1": example_b1,
+    "B.2": example_b2,
+    "B.3": example_b3,
+    "B.4": example_b4,
+    "B.5": example_b5,
+}

@@ -1,0 +1,83 @@
+"""Appendix C scenarios: query generation, fusion and Skolem unification.
+
+* Example C.1 reuses the Figure 10 problem (CARS3 → CARS2a).
+* Example C.2 reuses the Figure 12 problem (CARS4 → CARSod).
+* Example C.3 reuses the Figure 14 problem (CARS2 → CARS3).
+* Example C.4 is the three-way soft key conflict; :func:`example_c4_problem`
+  reconstructs it from correspondences (each source relation maps its key
+  plus one distinct non-key attribute).
+* Examples 6.6 and 6.7 (section 6) are also provided here because they
+  exercise the same machinery (fusion and Skolem unification).
+"""
+
+from __future__ import annotations
+
+from ..core.pipeline import MappingProblem
+from ..model.builder import SchemaBuilder
+from .cars import figure10_problem, figure12_problem, figure14_problem
+
+example_c1_problem = figure10_problem
+example_c2_problem = figure12_problem
+example_c3_problem = figure14_problem
+
+
+def example_c4_problem() -> MappingProblem:
+    """C.4: three sources conflicting over different target attributes."""
+    source = (
+        SchemaBuilder("C4s")
+        .relation("S1", "k", "a", "b", "c")
+        .relation("S2", "k", "a", "b", "c")
+        .relation("S3", "k", "a", "b", "c")
+        .build()
+    )
+    target = SchemaBuilder("C4t").relation("T", "k", "a", "b", "c?").build()
+    problem = MappingProblem(source, target, name="C.4")
+    problem.add_correspondence("S1.k", "T.k")
+    problem.add_correspondence("S1.a", "T.a")
+    problem.add_correspondence("S2.k", "T.k")
+    problem.add_correspondence("S2.b", "T.b")
+    problem.add_correspondence("S3.k", "T.k")
+    problem.add_correspondence("S3.c", "T.c")
+    return problem
+
+
+def example_6_7_problem() -> MappingProblem:
+    """Example 6.7: two sources each inventing the same target attribute x."""
+    source = (
+        SchemaBuilder("E67s")
+        .relation("S1", "k", "a")
+        .relation("S2", "k", "b")
+        .build()
+    )
+    target = SchemaBuilder("E67t").relation("T", "k", "a", "b", "x").build()
+    problem = MappingProblem(source, target, name="6.7")
+    problem.add_correspondence("S1.k", "T.k")
+    problem.add_correspondence("S1.a", "T.a")
+    problem.add_correspondence("S2.k", "T.k")
+    problem.add_correspondence("S2.b", "T.b")
+    return problem
+
+
+def example_6_6_problem() -> MappingProblem:
+    """Example 6.6: a nullable source attribute vs an invented one.
+
+    ``S1`` carries a nullable ``b``, ``S2`` carries ``c``; both reference the
+    hub ``S0`` providing ``a``.  The target ``T(k, a, b?, c)`` receives ``b``
+    from ``S1`` (or null) and ``c`` from ``S2`` (or an invented value).
+    """
+    source = (
+        SchemaBuilder("E66s")
+        .relation("S0", "k", "a")
+        .relation("S1", "k", "b?")
+        .relation("S2", "k", "c")
+        .foreign_key("S1", "k", "S0")
+        .foreign_key("S2", "k", "S0")
+        .build()
+    )
+    target = SchemaBuilder("E66t").relation("T", "k", "a", "b?", "c").build()
+    problem = MappingProblem(source, target, name="6.6")
+    problem.add_correspondence("S0.k", "T.k")
+    problem.add_correspondence("S0.a", "T.a")
+    problem.add_correspondence("S1.b", "T.b")
+    problem.add_correspondence("S2.c", "T.c")
+    return problem

@@ -1,0 +1,386 @@
+"""The paper's car-registration schemas, mapping problems and instances.
+
+Every figure of the main paper body is available as a ready-made
+:class:`~repro.core.pipeline.MappingProblem` plus, where the paper shows
+one, the source instance and the expected target instance:
+
+* ``CARS3`` — persons, cars, owners (Figures 1, 4, 9, 10, 12-sibling);
+* ``CARS2`` — persons, cars with a *nullable* owner FK (Figure 1 target);
+* ``CARS2a`` — like CARS2 but with a *mandatory* owner (Figures 7, 10);
+* ``CARS1`` / ``CARS1a`` — single-relation car list with nullable /
+  mandatory owner name (Figures 4, 9);
+* ``CARS4`` / ``CARSod`` — owners *and* drivers (Figure 12, Example C.2).
+"""
+
+from __future__ import annotations
+
+from ..core.pipeline import MappingProblem
+from ..model.builder import SchemaBuilder
+from ..model.instance import Instance, instance_from_dict
+from ..model.schema import Schema
+from ..model.values import NULL
+
+
+# ---------------------------------------------------------------------------
+# Schemas
+# ---------------------------------------------------------------------------
+
+def cars3_schema() -> Schema:
+    """CARS3: Person3 / Car3 / Owner3 (a car has at most one owner)."""
+    return (
+        SchemaBuilder("CARS3")
+        .relation("P3", "person", "name", "email", key="person")
+        .relation("C3", "car", "model", key="car")
+        .relation("O3", "car", "person", key="car")
+        .foreign_key("O3", "car", "C3")
+        .foreign_key("O3", "person", "P3")
+        .build()
+    )
+
+
+def cars2_schema() -> Schema:
+    """CARS2: Person2 / Car2 with a nullable owner foreign key."""
+    return (
+        SchemaBuilder("CARS2")
+        .relation("P2", "person", "name", "email", key="person")
+        .relation("C2", "car", "model", "person?", key="car")
+        .foreign_key("C2", "person", "P2")
+        .build()
+    )
+
+
+def cars2a_schema() -> Schema:
+    """CARS2a: like CARS2 but every car has a (mandatory) owner."""
+    return (
+        SchemaBuilder("CARS2a")
+        .relation("P2a", "person", "name", "email", key="person")
+        .relation("C2a", "car", "model", "person", key="car")
+        .foreign_key("C2a", "person", "P2a")
+        .build()
+    )
+
+
+def cars1_schema() -> Schema:
+    """CARS1: a single relation, car with the (nullable) owner name."""
+    return (
+        SchemaBuilder("CARS1")
+        .relation("C1", "car", "model", "name?", key="car")
+        .build()
+    )
+
+
+def cars1a_schema() -> Schema:
+    """CARS1a: like CARS1 but the owner name is mandatory (Figure 9)."""
+    return (
+        SchemaBuilder("CARS1a")
+        .relation("C1a", "car", "model", "name", key="car")
+        .build()
+    )
+
+
+def cars4_schema() -> Schema:
+    """CARS4: persons, cars, owners and drivers (Figure 12, Example C.2)."""
+    return (
+        SchemaBuilder("CARS4")
+        .relation("P4", "person", "name", "email", key="person")
+        .relation("C4", "car", "model", key="car")
+        .relation("O4", "car", "person", key="car")
+        .relation("D4", "car", "person", key="car")
+        .foreign_key("O4", "car", "C4")
+        .foreign_key("O4", "person", "P4")
+        .foreign_key("D4", "car", "C4")
+        .foreign_key("D4", "person", "P4")
+        .build()
+    )
+
+
+def carsod_schema() -> Schema:
+    """CARSod: cars with nullable owner-name and driver-name (Figure 12)."""
+    return (
+        SchemaBuilder("CARSod")
+        .relation("Cod", "car", "model", "o_name?", "d_name?", key="car")
+        .build()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Mapping problems (one per figure)
+# ---------------------------------------------------------------------------
+
+def _problem(
+    source: Schema, target: Schema, name: str, pairs: list[tuple[str, str, str]]
+) -> MappingProblem:
+    problem = MappingProblem(source, target, name=name)
+    for source_attr, target_attr, label in pairs:
+        problem.add_correspondence(source_attr, target_attr, label)
+    return problem
+
+
+def figure1_problem() -> MappingProblem:
+    """Figure 1 / Example 2.1: CARS3 -> CARS2."""
+    return _problem(
+        cars3_schema(),
+        cars2_schema(),
+        "figure-1",
+        [
+            ("P3.person", "P2.person", "p1"),
+            ("P3.name", "P2.name", "p2"),
+            ("P3.email", "P2.email", "p3"),
+            ("C3.car", "C2.car", "c1"),
+            ("C3.model", "C2.model", "c2"),
+            ("O3.car", "C2.car", "o1"),
+            ("O3.person", "C2.person", "o2"),
+        ],
+    )
+
+
+def figure4_problem() -> MappingProblem:
+    """Figure 4 / Example 2.2: CARS3 -> CARS1 with *plain* correspondences."""
+    return _problem(
+        cars3_schema(),
+        cars1_schema(),
+        "figure-4",
+        [
+            ("C3.car", "C1.car", "cc"),
+            ("C3.model", "C1.model", "cm"),
+            ("P3.name", "C1.name", "cn"),
+        ],
+    )
+
+
+def figure4_ra_problem() -> MappingProblem:
+    """Example 2.2 continued: the referenced-attribute correspondence ``cn'``."""
+    return _problem(
+        cars3_schema(),
+        cars1_schema(),
+        "figure-4-ra",
+        [
+            ("C3.car", "C1.car", "cc"),
+            ("C3.model", "C1.model", "cm"),
+            ("O3.person > P3.name", "C1.name", "cn'"),
+        ],
+    )
+
+
+def figure7_problem() -> MappingProblem:
+    """Figure 7 (section 3.2): CARS2a -> CARS3, the baseline walkthrough."""
+    return _problem(
+        cars2a_schema(),
+        cars3_schema(),
+        "figure-7",
+        [
+            ("P2a.person", "P3.person", "p1"),
+            ("P2a.name", "P3.name", "p2"),
+            ("P2a.email", "P3.email", "p3"),
+            ("C2a.car", "C3.car", "c1"),
+            ("C2a.model", "C3.model", "c2"),
+            ("C2a.car", "O3.car", "o1"),
+            ("C2a.person", "O3.person", "o2"),
+        ],
+    )
+
+
+def figure9_problem() -> MappingProblem:
+    """Figure 9 / Example 4.1: CARS3 -> CARS1a with the r-a correspondence."""
+    return _problem(
+        cars3_schema(),
+        cars1a_schema(),
+        "figure-9",
+        [
+            ("C3.car", "C1a.car", "cc"),
+            ("C3.model", "C1a.model", "cm"),
+            ("O3.person > P3.name", "C1a.name", "cn'"),
+        ],
+    )
+
+
+def figure10_problem() -> MappingProblem:
+    """Figure 10 / Example C.1: CARS3 -> CARS2a (mandatory owner)."""
+    return _problem(
+        cars3_schema(),
+        cars2a_schema(),
+        "figure-10",
+        [
+            ("P3.person", "P2a.person", "p1"),
+            ("P3.name", "P2a.name", "p2"),
+            ("P3.email", "P2a.email", "p3"),
+            ("C3.car", "C2a.car", "c1"),
+            ("C3.model", "C2a.model", "c2"),
+            ("O3.car", "C2a.car", "o1"),
+            ("O3.person", "C2a.person", "o2"),
+        ],
+    )
+
+
+def figure12_problem() -> MappingProblem:
+    """Figure 12 / Example C.2: CARS4 -> CARSod with owner/driver r-a lines."""
+    return _problem(
+        cars4_schema(),
+        carsod_schema(),
+        "figure-12",
+        [
+            ("C4.car", "Cod.car", "cc"),
+            ("C4.model", "Cod.model", "cm"),
+            ("O4.person > P4.name", "Cod.o_name", "con"),
+            ("D4.person > P4.name", "Cod.d_name", "cdn"),
+        ],
+    )
+
+
+def figure14_problem() -> MappingProblem:
+    """Figure 14 / Example C.3: CARS2 -> CARS3 (source nullable attribute)."""
+    return _problem(
+        cars2_schema(),
+        cars3_schema(),
+        "figure-14",
+        [
+            ("P2.person", "P3.person", "p1"),
+            ("P2.name", "P3.name", "p2"),
+            ("P2.email", "P3.email", "p3"),
+            ("C2.car", "C3.car", "c1"),
+            ("C2.model", "C3.model", "c2"),
+            ("C2.person", "O3.person", "o2"),
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Instances (figures 2, 3, 5, 6, 8, 11, 13, 15)
+# ---------------------------------------------------------------------------
+
+def cars3_source_instance() -> Instance:
+    """The CARS3 source instance used by Figures 2, 3, 5, 6 and 11."""
+    return instance_from_dict(
+        cars3_schema(),
+        {
+            "P3": [("p21", "John", "j@..."), ("p22", "MJ", "mj@...")],
+            "C3": [("c85", "Ferrari"), ("c86", "Ford")],
+            "O3": [("c85", "p22")],
+        },
+    )
+
+
+def figure3_expected_target() -> Instance:
+    """The desirable CARS2 target of Figure 3 (novel algorithms)."""
+    return instance_from_dict(
+        cars2_schema(),
+        {
+            "P2": [("p21", "John", "j@..."), ("p22", "MJ", "mj@...")],
+            "C2": [("c85", "Ferrari", "p22"), ("c86", "Ford", NULL)],
+        },
+    )
+
+
+def figure6_expected_target() -> Instance:
+    """The desirable CARS1 target of Figure 6 (r-a correspondence)."""
+    return instance_from_dict(
+        cars1_schema(),
+        {
+            "C1": [("c85", "Ferrari", "MJ"), ("c86", "Ford", NULL)],
+        },
+    )
+
+
+def figure8_source_instance() -> Instance:
+    """The CARS2a source instance of Figure 8 (two cars owned by p22)."""
+    return instance_from_dict(
+        cars2a_schema(),
+        {
+            "P2a": [("p21", "John", "j@..."), ("p22", "MJ", "mj@...")],
+            "C2a": [("c85", "Ferrari", "p22"), ("c86", "Ford", "p22")],
+        },
+    )
+
+
+def figure8_expected_target() -> Instance:
+    """The CARS3 target of Figure 8 (baseline transformation)."""
+    return instance_from_dict(
+        cars3_schema(),
+        {
+            "P3": [("p21", "John", "j@..."), ("p22", "MJ", "mj@...")],
+            "C3": [("c85", "Ferrari"), ("c86", "Ford")],
+            "O3": [("c85", "p22"), ("c86", "p22")],
+        },
+    )
+
+
+def figure13_source_instance() -> Instance:
+    """The CARS4 source instance of Figure 13 (owners and drivers)."""
+    return instance_from_dict(
+        cars4_schema(),
+        {
+            "P4": [
+                ("p21", "John", "j@..."),
+                ("p22", "MJ", "mj@..."),
+                ("p23", "Paul", "p@..."),
+                ("p24", "Rick", "r@..."),
+                ("p25", "Eva", "eva@..."),
+            ],
+            "C4": [
+                ("c85", "Ferrari"),
+                ("c86", "Ford"),
+                ("c87", "Volkswagen"),
+                ("c88", "Volvo"),
+            ],
+            "O4": [("c85", "p22"), ("c86", "p21")],
+            "D4": [("c85", "p23"), ("c87", "p24")],
+        },
+    )
+
+
+def figure13_expected_target() -> Instance:
+    """The CARSod target of Figure 13.
+
+    Note: the paper's figure prints person *identifiers* in the o-name and
+    d-name columns; the correspondences of Figure 12 (``O4.person ▹ P4.name``)
+    actually move the *names*, which is what this expectation records (see
+    EXPERIMENTS.md).
+    """
+    return instance_from_dict(
+        carsod_schema(),
+        {
+            "Cod": [
+                ("c85", "Ferrari", "MJ", "Paul"),
+                ("c86", "Ford", "John", NULL),
+                ("c87", "Volkswagen", NULL, "Rick"),
+                ("c88", "Volvo", NULL, NULL),
+            ],
+        },
+    )
+
+
+def figure15_source_instance() -> Instance:
+    """The CARS2 source instance of Figure 15 (a car without an owner)."""
+    return instance_from_dict(
+        cars2_schema(),
+        {
+            "P2": [("p21", "John", "j@..."), ("p22", "MJ", "mj@...")],
+            "C2": [("c85", "Ferrari", "p22"), ("c86", "Ford", NULL)],
+        },
+    )
+
+
+def figure15_expected_target() -> Instance:
+    """The CARS3 target of Figure 15."""
+    return instance_from_dict(
+        cars3_schema(),
+        {
+            "P3": [("p21", "John", "j@..."), ("p22", "MJ", "mj@...")],
+            "C3": [("c85", "Ferrari"), ("c86", "Ford")],
+            "O3": [("c85", "p22")],
+        },
+    )
+
+
+def all_problems() -> dict[str, MappingProblem]:
+    """Every CARS mapping problem, keyed by figure name."""
+    return {
+        "figure-1": figure1_problem(),
+        "figure-4": figure4_problem(),
+        "figure-4-ra": figure4_ra_problem(),
+        "figure-7": figure7_problem(),
+        "figure-9": figure9_problem(),
+        "figure-10": figure10_problem(),
+        "figure-12": figure12_problem(),
+        "figure-14": figure14_problem(),
+    }

@@ -1,0 +1,103 @@
+"""A bibliography-consolidation scenario (not from the paper).
+
+A normalized publication database — persons, venues, papers, authorships
+(composite key), awards — is consolidated into a flat digest.  The mapping
+exercises most features at once: referenced-attribute correspondences
+(venue name/year through the ``Paper.venue`` foreign key), a nullable target
+attribute fed by a separate source relation (awards → soft key conflict →
+negation), and a Clio-style filter (only current venues).
+"""
+
+from __future__ import annotations
+
+from ..core.pipeline import MappingProblem
+from ..model.builder import SchemaBuilder
+from ..model.instance import Instance, instance_from_dict
+from ..model.schema import Schema
+from ..model.values import NULL
+
+
+def pubs_schema() -> Schema:
+    """The normalized source: persons, venues, papers, authorships, awards."""
+    return (
+        SchemaBuilder("PUBS")
+        .relation("Person", "pid", "name", "email?")
+        .relation("Venue", "vid", "vname", "year")
+        .relation("Paper", "doi", "title", "venue")
+        .relation("Authorship", "doi", "pid", "rank", key=["doi", "pid"])
+        .relation("Award", "doi", "prize")
+        .foreign_key("Paper", "venue", "Venue")
+        .foreign_key("Authorship", "doi", "Paper")
+        .foreign_key("Authorship", "pid", "Person")
+        .foreign_key("Award", "doi", "Paper")
+        .build()
+    )
+
+
+def digest_schema() -> Schema:
+    """The consolidated target: one row per paper, plus a venue shortlist."""
+    return (
+        SchemaBuilder("DIGEST")
+        .relation("Pub", "doi", "title", "venue_name", "year", "prize?")
+        .relation("CurrentVenue", "vid", "vname")
+        .build()
+    )
+
+
+def digest_problem(current_year: str = "2024") -> MappingProblem:
+    """Consolidate PUBS into DIGEST."""
+    problem = MappingProblem(pubs_schema(), digest_schema(), name="pubs-digest")
+    problem.add_correspondence("Paper.doi", "Pub.doi")
+    problem.add_correspondence("Paper.title", "Pub.title")
+    problem.add_correspondence("Paper.venue > Venue.vname", "Pub.venue_name")
+    problem.add_correspondence("Paper.venue > Venue.year", "Pub.year")
+    problem.add_correspondence("Award.doi", "Pub.doi")
+    problem.add_correspondence("Award.prize", "Pub.prize")
+    problem.add_correspondence(
+        "Venue.vid", "CurrentVenue.vid", where=f"Venue.year = '{current_year}'"
+    )
+    problem.add_correspondence(
+        "Venue.vname", "CurrentVenue.vname", where=f"Venue.year = '{current_year}'"
+    )
+    return problem
+
+
+def pubs_source_instance() -> Instance:
+    return instance_from_dict(
+        pubs_schema(),
+        {
+            "Person": [
+                ("p1", "Ada", "ada@x"),
+                ("p2", "Alan", NULL),
+            ],
+            "Venue": [
+                ("v1", "EDBT", "2024"),
+                ("v2", "VLDB", "2023"),
+            ],
+            "Paper": [
+                ("d1", "On Keys", "v1"),
+                ("d2", "On Nulls", "v2"),
+                ("d3", "On Chases", "v1"),
+            ],
+            "Authorship": [
+                ("d1", "p1", "1"),
+                ("d1", "p2", "2"),
+                ("d2", "p2", "1"),
+            ],
+            "Award": [("d1", "best-paper")],
+        },
+    )
+
+
+def digest_expected_target() -> Instance:
+    return instance_from_dict(
+        digest_schema(),
+        {
+            "Pub": [
+                ("d1", "On Keys", "EDBT", "2024", "best-paper"),
+                ("d2", "On Nulls", "VLDB", "2023", NULL),
+                ("d3", "On Chases", "EDBT", "2024", NULL),
+            ],
+            "CurrentVenue": [("v1", "EDBT")],
+        },
+    )

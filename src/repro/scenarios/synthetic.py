@@ -1,0 +1,154 @@
+"""Synthetic workload generators for the scaling and ablation benchmarks.
+
+The paper evaluates on worked examples only; these generators extend its own
+CARS schemas to arbitrary sizes so runtime and output-quality trends (target
+size, invented values, key violations) can be measured.  All generators are
+deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.pipeline import MappingProblem
+from ..model.builder import SchemaBuilder
+from ..model.instance import Instance
+from ..model.schema import Schema
+from ..model.values import NULL
+from .cars import cars2_schema, cars3_schema, cars4_schema
+
+
+def cars3_instance(
+    n_persons: int, n_cars: int, ownership: float = 0.6, seed: int = 0
+) -> Instance:
+    """A CARS3 instance: ``n_persons`` persons, ``n_cars`` cars, a fraction owned."""
+    rng = random.Random(seed)
+    instance = Instance(cars3_schema())
+    for i in range(n_persons):
+        instance.add("P3", (f"p{i}", f"name{i}", f"mail{i}@x"))
+    models = ["Ferrari", "Ford", "Fiat", "Volvo", "VW", "Toyota"]
+    for i in range(n_cars):
+        instance.add("C3", (f"c{i}", models[i % len(models)]))
+        if n_persons and rng.random() < ownership:
+            owner = rng.randrange(n_persons)
+            instance.add("O3", (f"c{i}", f"p{owner}"))
+    return instance
+
+
+def cars2_instance(
+    n_persons: int, n_cars: int, null_fraction: float = 0.4, seed: int = 0
+) -> Instance:
+    """A CARS2 instance where a fraction of cars has a null owner."""
+    rng = random.Random(seed)
+    instance = Instance(cars2_schema())
+    for i in range(n_persons):
+        instance.add("P2", (f"p{i}", f"name{i}", f"mail{i}@x"))
+    models = ["Ferrari", "Ford", "Fiat", "Volvo", "VW", "Toyota"]
+    for i in range(n_cars):
+        if n_persons and rng.random() >= null_fraction:
+            owner = f"p{rng.randrange(n_persons)}"
+        else:
+            owner = NULL
+        instance.add("C2", (f"c{i}", models[i % len(models)], owner))
+    return instance
+
+
+def cars4_instance(
+    n_persons: int,
+    n_cars: int,
+    ownership: float = 0.5,
+    drivership: float = 0.5,
+    seed: int = 0,
+) -> Instance:
+    """A CARS4 instance with independent owner and driver fractions."""
+    rng = random.Random(seed)
+    instance = Instance(cars4_schema())
+    for i in range(n_persons):
+        instance.add("P4", (f"p{i}", f"name{i}", f"mail{i}@x"))
+    models = ["Ferrari", "Ford", "Fiat", "Volvo", "VW", "Toyota"]
+    for i in range(n_cars):
+        instance.add("C4", (f"c{i}", models[i % len(models)]))
+        if n_persons and rng.random() < ownership:
+            instance.add("O4", (f"c{i}", f"p{rng.randrange(n_persons)}"))
+        if n_persons and rng.random() < drivership:
+            instance.add("D4", (f"c{i}", f"p{rng.randrange(n_persons)}"))
+    return instance
+
+
+def chain_schema(
+    depth: int,
+    nullable_links: bool = True,
+    name: str = "chain",
+    prefix: str = "R",
+) -> Schema:
+    """A chain of relations linked by (optionally nullable) foreign keys.
+
+    ``R0(k, a, next) -> R1(k, a, next) -> ... -> R<depth>(k, a)``.  With
+    nullable links the modified chase of ``R0`` produces ``depth + 1``
+    partial tableaux (one per prefix), making chase and candidate-generation
+    cost scale with depth — the workload for the chase benchmarks.
+    """
+    builder = SchemaBuilder(name)
+    for level in range(depth + 1):
+        if level < depth:
+            link = "next?" if nullable_links else "next"
+            builder.relation(f"{prefix}{level}", "k", "a", link)
+        else:
+            builder.relation(f"{prefix}{level}", "k", "a")
+    for level in range(depth):
+        builder.foreign_key(f"{prefix}{level}", "next", f"{prefix}{level + 1}")
+    return builder.build()
+
+
+def chain_instance(schema: Schema, rows_per_relation: int, seed: int = 0) -> Instance:
+    """Rows for a chain schema; each row links to a random next-level row."""
+    rng = random.Random(seed)
+    instance = Instance(schema)
+    names = list(schema.relation_names())
+    for index, name in enumerate(names):
+        is_last = index == len(names) - 1
+        for row in range(rows_per_relation):
+            if is_last:
+                instance.add(name, (f"{name}k{row}", f"a{row}"))
+            else:
+                if rng.random() < 0.5:
+                    link = f"{names[index + 1]}k{rng.randrange(rows_per_relation)}"
+                else:
+                    link = NULL
+                instance.add(name, (f"{name}k{row}", f"a{row}", link))
+    return instance
+
+
+def chain_problem(depth: int, nullable_links: bool = True) -> MappingProblem:
+    """A chain-to-chain copy problem exercising deep FK traversal.
+
+    Source relations are ``S0..Sn`` and target relations ``T0..Tn`` (the
+    mapping system requires disjoint relation namespaces).
+    """
+    source = chain_schema(depth, nullable_links, name="chain-src", prefix="S")
+    target = chain_schema(depth, nullable_links, name="chain-tgt", prefix="T")
+    problem = MappingProblem(source, target, name=f"chain-{depth}")
+    for level in range(depth + 1):
+        problem.add_correspondence(f"S{level}.k", f"T{level}.k")
+        problem.add_correspondence(f"S{level}.a", f"T{level}.a")
+        if level < depth:
+            problem.add_correspondence(f"S{level}.next", f"T{level}.next")
+    return problem
+
+
+def wide_problem(n_nullable: int) -> MappingProblem:
+    """A single-relation problem with ``n_nullable`` nullable target attributes.
+
+    The modified chase of the target relation produces ``2**n_nullable``
+    partial tableaux — the ablation workload for nullable-related pruning.
+    """
+    source_builder = SchemaBuilder("wide-src")
+    target_builder = SchemaBuilder("wide-tgt")
+    attrs = ["k"] + [f"a{i}" for i in range(n_nullable)]
+    source_builder.relation("S", *attrs)
+    target_builder.relation("T", "k", *[f"a{i}?" for i in range(n_nullable)])
+    problem = MappingProblem(source_builder.build(), target_builder.build(), name=f"wide-{n_nullable}")
+    problem.add_correspondence("S.k", "T.k")
+    for i in range(n_nullable):
+        problem.add_correspondence(f"S.a{i}", f"T.a{i}")
+    return problem

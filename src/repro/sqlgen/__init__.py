@@ -1,0 +1,21 @@
+"""SQL backend: DDL emission, Datalog-to-SQL translation, SQLite execution."""
+
+from .ddl import create_table_sql, quote_identifier, schema_ddl
+from .executor import ExecutionTrace, SqliteExecutor, run_on_sqlite
+from .queries import program_to_sql, rule_to_sql, sql_literal
+from .values import INVENTED_PREFIX, decode_value, encode_value
+
+__all__ = [
+    "ExecutionTrace",
+    "INVENTED_PREFIX",
+    "SqliteExecutor",
+    "create_table_sql",
+    "decode_value",
+    "encode_value",
+    "program_to_sql",
+    "quote_identifier",
+    "rule_to_sql",
+    "run_on_sqlite",
+    "schema_ddl",
+    "sql_literal",
+]

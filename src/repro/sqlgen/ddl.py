@@ -1,0 +1,48 @@
+"""DDL emission: relational schemas as SQL ``CREATE TABLE`` statements.
+
+Keys become ``PRIMARY KEY``, foreign keys become ``FOREIGN KEY ...
+REFERENCES``, mandatory attributes become ``NOT NULL``.  ``enforce=False``
+emits bare tables — useful for materializing the output of the *basic*
+algorithms, which (as the paper shows on Figure 2) can violate target keys.
+"""
+
+from __future__ import annotations
+
+from ..model.schema import RelationSchema, Schema
+
+
+def quote_identifier(name: str) -> str:
+    """Quote an SQL identifier (doubling embedded quotes)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def create_table_sql(
+    relation: RelationSchema, schema: Schema, enforce: bool = True
+) -> str:
+    """The ``CREATE TABLE`` statement for one relation."""
+    lines = []
+    for attribute in relation.attributes:
+        column = f"  {quote_identifier(attribute.name)} TEXT"
+        if enforce and not attribute.nullable:
+            column += " NOT NULL"
+        lines.append(column)
+    if enforce:
+        key = ", ".join(quote_identifier(k) for k in relation.key)
+        lines.append(f"  PRIMARY KEY ({key})")
+        for fk in schema.foreign_keys_of(relation.name):
+            target = schema.relation(fk.referenced)
+            lines.append(
+                f"  FOREIGN KEY ({quote_identifier(fk.attribute)}) "
+                f"REFERENCES {quote_identifier(fk.referenced)}"
+                f"({quote_identifier(target.key[0])})"
+            )
+    body = ",\n".join(lines)
+    return f"CREATE TABLE {quote_identifier(relation.name)} (\n{body}\n)"
+
+
+def schema_ddl(schema: Schema, enforce: bool = True) -> list[str]:
+    """``CREATE TABLE`` statements for a whole schema, FK targets first."""
+    from ..model.graph import chase_order
+
+    order = chase_order(schema)
+    return [create_table_sql(schema.relation(name), schema, enforce) for name in order]

@@ -1,0 +1,179 @@
+"""Translation of generated Datalog programs to SQL.
+
+Each rule becomes an ``INSERT INTO ... SELECT DISTINCT ...`` over a join of
+the body atoms; negated atoms become ``NOT EXISTS`` subqueries; null and
+non-null conditions become ``IS NULL`` / ``IS NOT NULL``; Skolem terms
+become string expressions encoding the invented value (see
+:mod:`repro.sqlgen.values`).
+
+Join and equality predicates use SQL's null-safe ``IS`` operator because, in
+the paper's semantics, the unlabeled null is an ordinary value — two null
+foreign keys join like any other pair of equal values.
+"""
+
+from __future__ import annotations
+
+from ..errors import QueryGenerationError
+from ..logic.atoms import RelationalAtom
+from ..logic.terms import Constant, NullTerm, SkolemTerm, Term, Variable
+from ..datalog.program import DatalogProgram, Rule
+from ..datalog.stratify import stratify
+from .ddl import quote_identifier
+from .values import INVENTED_PREFIX
+
+
+def sql_literal(value: object) -> str:
+    if isinstance(value, (int, float)):
+        return str(value)
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+def _column_ref(alias: str, relation_columns: list[str], position: int) -> str:
+    return f"{alias}.{quote_identifier(relation_columns[position])}"
+
+
+class _RuleTranslator:
+    """Builds the SELECT for one rule."""
+
+    def __init__(self, rule: Rule, program: DatalogProgram):
+        self.rule = rule
+        self.program = program
+        self.aliases: list[str] = []
+        self.var_column: dict[Variable, str] = {}
+        self.predicates: list[str] = []
+        self._bind_body()
+
+    def _columns_of(self, relation: str) -> list[str]:
+        source = self.program.source_schema
+        target = self.program.target_schema
+        for schema in (source, target):
+            if schema is not None and relation in schema:
+                return list(schema.relation(relation).attribute_names)
+        if relation in self.program.intermediates:
+            return [f"c{i}" for i in range(self.program.intermediates[relation])]
+        raise QueryGenerationError(f"unknown relation {relation!r} in SQL translation")
+
+    def _bind_body(self) -> None:
+        for index, atom in enumerate(self.rule.body):
+            alias = f"t{index}"
+            self.aliases.append(alias)
+            columns = self._columns_of(atom.relation)
+            for position, term in enumerate(atom.terms):
+                reference = _column_ref(alias, columns, position)
+                if isinstance(term, Variable):
+                    existing = self.var_column.get(term)
+                    if existing is None:
+                        self.var_column[term] = reference
+                    else:
+                        self.predicates.append(f"{reference} IS {existing}")
+                elif isinstance(term, Constant):
+                    self.predicates.append(f"{reference} = {sql_literal(term.value)}")
+                elif isinstance(term, NullTerm):
+                    self.predicates.append(f"{reference} IS NULL")
+                else:  # pragma: no cover - Skolem terms never occur in bodies
+                    raise QueryGenerationError(f"Skolem term in rule body: {term!r}")
+
+    def term_expression(self, term: Term) -> str:
+        """A SELECT expression computing one head term."""
+        if isinstance(term, Variable):
+            try:
+                return self.var_column[term]
+            except KeyError:
+                raise QueryGenerationError(f"unbound head variable {term!r}") from None
+        if isinstance(term, Constant):
+            return sql_literal(term.value)
+        if isinstance(term, NullTerm):
+            return "NULL"
+        if isinstance(term, SkolemTerm):
+            pieces = [sql_literal(f"{INVENTED_PREFIX}{term.functor}(")]
+            for i, arg in enumerate(term.args):
+                if i:
+                    pieces.append("','")
+                pieces.append(
+                    f"IFNULL(CAST({self.term_expression(arg)} AS TEXT), 'null')"
+                )
+            pieces.append("')'")
+            return " || ".join(pieces)
+        raise QueryGenerationError(f"cannot translate term {term!r}")  # pragma: no cover
+
+    def _negation_predicate(self, atom: RelationalAtom) -> str:
+        columns = self._columns_of(atom.relation)
+        alias = "n"
+        conditions = []
+        for position, term in enumerate(atom.terms):
+            reference = _column_ref(alias, columns, position)
+            conditions.append(f"{reference} IS {self.term_expression(term)}")
+        where = " AND ".join(conditions) if conditions else "1"
+        return (
+            f"NOT EXISTS (SELECT 1 FROM {quote_identifier(atom.relation)} {alias} "
+            f"WHERE {where})"
+        )
+
+    def select_sql(self) -> str:
+        expressions = [self.term_expression(t) for t in self.rule.head.terms]
+        columns = self._columns_of(self.rule.head.relation)
+        select_list = ", ".join(
+            f"{expr} AS {quote_identifier(col)}"
+            for expr, col in zip(expressions, columns)
+        )
+        from_list = ", ".join(
+            f"{quote_identifier(atom.relation)} {alias}"
+            for atom, alias in zip(self.rule.body, self.aliases)
+        )
+        predicates = list(self.predicates)
+        for var in self.rule.null_vars:
+            predicates.append(f"{self.var_column[var]} IS NULL")
+        for var in self.rule.nonnull_vars:
+            predicates.append(f"{self.var_column[var]} IS NOT NULL")
+        for equality in self.rule.equalities:
+            predicates.append(
+                f"{self.term_expression(equality.left)} IS "
+                f"{self.term_expression(equality.right)}"
+            )
+        for disequality in self.rule.disequalities:
+            predicates.append(
+                f"{self.term_expression(disequality.left)} IS NOT "
+                f"{self.term_expression(disequality.right)}"
+            )
+        for atom in self.rule.negated:
+            predicates.append(self._negation_predicate(atom))
+        sql = f"SELECT DISTINCT {select_list} FROM {from_list}"
+        if predicates:
+            sql += " WHERE " + " AND ".join(predicates)
+        return sql
+
+
+def rule_to_sql(rule: Rule, program: DatalogProgram) -> str:
+    """The ``INSERT ... SELECT`` statement for one rule."""
+    translator = _RuleTranslator(rule, program)
+    table = quote_identifier(rule.head_relation)
+    # EXCEPT keeps set semantics across the several rules feeding one target
+    # relation (SQL set operations treat NULLs as equal, like the engine).
+    return (
+        f"INSERT INTO {table} {translator.select_sql()} "
+        f"EXCEPT SELECT * FROM {table}"
+    )
+
+
+def intermediate_ddl(program: DatalogProgram) -> list[str]:
+    """``CREATE TABLE`` statements for the intermediate (tmp) relations."""
+    statements = []
+    for name, arity in program.intermediates.items():
+        columns = ", ".join(f"{quote_identifier(f'c{i}')} TEXT" for i in range(arity))
+        statements.append(f"CREATE TABLE {quote_identifier(name)} ({columns})")
+    return statements
+
+
+def program_to_sql(program: DatalogProgram) -> list[str]:
+    """All statements, in evaluation order: tmp DDL, then one INSERT per rule.
+
+    Rules are ordered by stratification so intermediate relations are filled
+    before the rules that negate them, and duplicate target rows across
+    different rules are tolerated via plain multi-statement inserts.
+    """
+    statements = intermediate_ddl(program)
+    order = {name: i for i, name in enumerate(stratify(program))}
+    for rule in sorted(program.rules, key=lambda r: order[r.head_relation]):
+        statements.append(rule_to_sql(rule, program))
+    return statements

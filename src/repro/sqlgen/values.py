@@ -1,0 +1,89 @@
+"""Encoding of invented values (labeled nulls) as SQL strings.
+
+SQL has no labeled nulls, so an invented value like ``f_person(c86)`` is
+stored as the string ``"\\x02f_person(c86)"`` — a control-character prefix
+followed by the functor application with arguments separated by commas
+(nested invented arguments keep their prefix).  :func:`decode_value` parses
+the encoding back into :class:`repro.model.values.LabeledNull`, so results
+read back from SQLite compare equal to the Datalog engine's output on
+string-valued databases.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import EvaluationError
+from ..model.values import NULL, LabeledNull, is_labeled_null, is_null
+
+#: Marks an encoded invented value.  A control character: real data will not
+#: contain it.
+INVENTED_PREFIX = "\x02"
+
+
+def encode_value(value: Any) -> Any:
+    """Encode a value for storage in SQL (None for null, string for invented)."""
+    if is_null(value):
+        return None
+    if is_labeled_null(value):
+        inner = ",".join(_encode_argument(a) for a in value.args)
+        return f"{INVENTED_PREFIX}{value.functor}({inner})"
+    return value
+
+
+def _encode_argument(value: Any) -> str:
+    if is_null(value):
+        return "null"
+    if is_labeled_null(value):
+        encoded = encode_value(value)
+        assert isinstance(encoded, str)
+        return encoded
+    return str(value)
+
+
+def decode_value(value: Any) -> Any:
+    """Decode a value read back from SQL."""
+    if value is None:
+        return NULL
+    if isinstance(value, str) and value.startswith(INVENTED_PREFIX):
+        term, rest = _parse_invented(value, 0)
+        if rest != len(value):
+            raise EvaluationError(f"trailing data in invented value {value!r}")
+        return term
+    return value
+
+
+def _parse_invented(text: str, start: int) -> tuple[LabeledNull, int]:
+    if text[start] != INVENTED_PREFIX:
+        raise EvaluationError(f"not an invented value at {start} in {text!r}")
+    open_paren = text.index("(", start)
+    functor = text[start + 1 : open_paren]
+    args: list[Any] = []
+    i = open_paren + 1
+    if i < len(text) and text[i] == ")":
+        return LabeledNull(functor, ()), i + 1
+    current_start = i
+    depth = 0
+    while i < len(text):
+        char = text[i]
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            if depth == 0:
+                args.append(_decode_argument(text[current_start:i]))
+                return LabeledNull(functor, tuple(args)), i + 1
+            depth -= 1
+        elif char == "," and depth == 0:
+            args.append(_decode_argument(text[current_start:i]))
+            current_start = i + 1
+        i += 1
+    raise EvaluationError(f"unbalanced invented value {text!r}")
+
+
+def _decode_argument(piece: str) -> Any:
+    if piece == "null":
+        return NULL
+    if piece.startswith(INVENTED_PREFIX):
+        term, _end = _parse_invented(piece, 0)
+        return term
+    return piece

@@ -1,0 +1,32 @@
+"""Shared fixtures: the paper's schemas and instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import cars
+
+
+@pytest.fixture
+def cars3():
+    return cars.cars3_schema()
+
+
+@pytest.fixture
+def cars2():
+    return cars.cars2_schema()
+
+
+@pytest.fixture
+def cars2a():
+    return cars.cars2a_schema()
+
+
+@pytest.fixture
+def figure1_problem():
+    return cars.figure1_problem()
+
+
+@pytest.fixture
+def cars3_instance():
+    return cars.cars3_source_instance()

@@ -1,0 +1,76 @@
+"""Tests for reverse problems and round-trip checks (paper section 8)."""
+
+import pytest
+
+from repro.core.bidirectional import check_round_trip, reverse_problem
+from repro.core.pipeline import MappingSystem
+from repro.errors import MappingGenerationError
+from repro.scenarios import cars
+from repro.scenarios.synthetic import cars2_instance
+
+
+class TestReverseProblem:
+    def test_figure14_reverses_to_a_figure1_like_problem(self):
+        problem = cars.figure14_problem()  # CARS2 -> CARS3
+        reverse = reverse_problem(problem)
+        assert reverse.source_schema.name == "CARS3"
+        assert reverse.target_schema.name == "CARS2"
+        assert len(reverse.correspondences) == len(problem.correspondences)
+        flipped = reverse.correspondences[0]
+        assert repr(flipped.source) == "P3.person"
+        assert repr(flipped.target) == "P2.person"
+        assert flipped.label == "p1^-1"
+
+    def test_ra_correspondence_cannot_reverse(self):
+        with pytest.raises(MappingGenerationError):
+            reverse_problem(cars.figure4_ra_problem())
+
+    def test_filtered_correspondence_cannot_reverse(self):
+        from repro.core.pipeline import MappingProblem
+        from repro.model.builder import SchemaBuilder
+
+        source = SchemaBuilder("s").relation("A", "k", "v").build()
+        target = SchemaBuilder("t").relation("B", "k", "v").build()
+        problem = MappingProblem(source, target)
+        problem.add_correspondence("A.k", "B.k")
+        problem.add_correspondence("A.v", "B.v", where="A.v = 'x'")
+        with pytest.raises(MappingGenerationError):
+            reverse_problem(problem)
+
+    def test_reverse_problem_validates(self):
+        reverse = reverse_problem(cars.figure14_problem())
+        reverse.validate()
+
+
+class TestRoundTrip:
+    def test_cars2_roundtrip_is_lossless(self):
+        problem = cars.figure14_problem()
+        source = cars.figure15_source_instance()
+        report = check_round_trip(problem, source)
+        assert report.restored
+        assert "lossless" in report.summary()
+        assert report.back == source
+
+    def test_cars2_roundtrip_lossless_at_scale(self):
+        problem = cars.figure14_problem()
+        source = cars2_instance(n_persons=40, n_cars=120, seed=3)
+        assert check_round_trip(problem, source).restored
+
+    def test_lossy_roundtrip_reported(self):
+        # Forward CARS3 -> CARS2 loses nothing here either, but dropping a
+        # correspondence makes the trip lossy: emails vanish.
+        problem = cars.figure1_problem()
+        problem.correspondences = [
+            c for c in problem.correspondences if c.label != "p3"  # drop email
+        ]
+        source = cars.cars3_source_instance()
+        report = check_round_trip(problem, source)
+        assert not report.restored
+        assert "P3" in report.diff.changed_relations()
+        assert "loses information" in report.summary()
+
+    def test_forward_result_available(self):
+        problem = cars.figure14_problem()
+        source = cars.figure15_source_instance()
+        report = check_round_trip(problem, source)
+        assert report.forward == MappingSystem(problem).transform(source)

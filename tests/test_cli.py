@@ -1,0 +1,168 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+PROBLEM_TEXT = """
+source schema CARS3:
+  relation P3 (person key, name, email)
+  relation C3 (car key, model)
+  relation O3 (car key -> C3, person -> P3)
+target schema CARS2:
+  relation P2 (person key, name, email)
+  relation C2 (car key, model, person? -> P2)
+correspondences:
+  P3.person -> P2.person
+  P3.name -> P2.name
+  P3.email -> P2.email
+  C3.car -> C2.car
+  C3.model -> C2.model
+  O3.car -> C2.car
+  O3.person -> C2.person
+"""
+
+INSTANCE_TEXT = """
+P3: (p21, John, j@x), (p22, MJ, mj@x)
+C3: (c85, Ferrari), (c86, Ford)
+O3: (c85, p22)
+"""
+
+
+@pytest.fixture
+def problem_file(tmp_path):
+    path = tmp_path / "problem.txt"
+    path.write_text(PROBLEM_TEXT)
+    return str(path)
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    path = tmp_path / "instance.txt"
+    path.write_text(INSTANCE_TEXT)
+    return str(path)
+
+
+class TestCompile:
+    def test_compile_datalog(self, problem_file, capsys):
+        assert main(["compile", problem_file]) == 0
+        out = capsys.readouterr().out
+        assert "schema mapping" in out
+        assert "OCtmp" in out
+        assert "<-" in out
+
+    def test_compile_basic(self, problem_file, capsys):
+        assert main(["compile", problem_file, "--algorithm", "basic"]) == 0
+        out = capsys.readouterr().out
+        assert "OCtmp" not in out  # no negation in the baseline
+
+    def test_compile_sql(self, problem_file, capsys):
+        assert main(["compile", problem_file, "--sql"]) == 0
+        out = capsys.readouterr().out
+        assert "INSERT INTO" in out
+        assert "NOT EXISTS" in out
+
+    def test_compile_long_names(self, problem_file, capsys):
+        assert main(["compile", problem_file, "--algorithm", "basic",
+                     "--long-names"]) == 0
+        assert "f_person@" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_datalog(self, problem_file, instance_file, capsys):
+        assert main(["run", problem_file, instance_file]) == 0
+        out = capsys.readouterr().out
+        assert "c86" in out and "null" in out
+
+    def test_run_sqlite_enforced(self, problem_file, instance_file, capsys):
+        assert main([
+            "run", problem_file, instance_file,
+            "--engine", "sqlite", "--enforce", "--validate",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "satisfies all constraints" in out
+
+    def test_run_validate_reports_basic_violations(
+        self, problem_file, instance_file, capsys
+    ):
+        assert main([
+            "run", problem_file, instance_file,
+            "--algorithm", "basic", "--validate",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "key violation" in out
+
+
+class TestExplain:
+    def test_explain_output(self, problem_file, capsys):
+        assert main(["explain", problem_file]) == 0
+        out = capsys.readouterr().out
+        assert "logical relations" in out
+        assert "prune log" in out
+        assert "key conflicts" in out
+        assert "subsumption" in out
+
+
+class TestMatch:
+    def test_match_schemas(self, tmp_path, capsys):
+        source = tmp_path / "src.txt"
+        source.write_text(
+            "relation P3 (person key, name, email)\n"
+            "relation C3 (car key, model)\n"
+        )
+        target = tmp_path / "tgt.txt"
+        target.write_text("relation P2 (person key, name, email)\n")
+        assert main(["match", str(source), str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "P3.person -> P2.person" in out
+        assert "correspondences:" in out
+
+
+class TestQuery:
+    def test_query_command(self, problem_file, instance_file, capsys):
+        assert main([
+            "query", problem_file, instance_file,
+            "(c, n) <- C2(c, m, p), P2(p, n, e)",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(c85, MJ)" in out
+        assert "1 answer(s)" in out
+
+    def test_certain_flag_drops_invented(self, problem_file, instance_file, capsys):
+        assert main([
+            "query", problem_file, instance_file,
+            "--algorithm", "basic", "--certain",
+            "(n) <- P2(p, n, e)",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 answer(s) (certain)" in out
+
+    def test_bad_query_reports_error(self, problem_file, instance_file, capsys):
+        assert main(["query", problem_file, instance_file, "nonsense"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent/problem.txt"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("this is not a problem file")
+        assert main(["compile", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestJsonProblems:
+    def test_compile_json_problem(self, tmp_path, capsys):
+        from repro.dsl.jsonio import problem_to_dict
+        from repro.dsl.parser import parse_problem
+
+        problem = parse_problem(PROBLEM_TEXT)
+        path = tmp_path / "problem.json"
+        path.write_text(json.dumps(problem_to_dict(problem)))
+        assert main(["compile", str(path)]) == 0
+        assert "OCtmp" in capsys.readouterr().out

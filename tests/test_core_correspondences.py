@@ -1,0 +1,102 @@
+"""Tests for attribute and referenced-attribute correspondences."""
+
+import pytest
+
+from repro.core.correspondences import (
+    Correspondence,
+    ReferencedAttribute,
+    correspondence,
+    correspondences,
+    parse_referenced_attribute,
+)
+from repro.errors import CorrespondenceError
+
+
+class TestParsing:
+    def test_plain_attribute(self):
+        ref = parse_referenced_attribute("P3.name")
+        assert ref.steps == (("P3", "name"),)
+        assert ref.is_plain
+        assert ref.relation == "P3"
+        assert ref.attribute == "name"
+
+    def test_referenced_attribute(self):
+        ref = parse_referenced_attribute("O3.person > P3.name")
+        assert ref.steps == (("O3", "person"), ("P3", "name"))
+        assert not ref.is_plain
+        assert ref.relation == "P3"
+        assert ref.attribute == "name"
+
+    def test_long_path(self):
+        ref = parse_referenced_attribute("A.x > B.y > C.z")
+        assert len(ref.steps) == 3
+
+    def test_whitespace_tolerated(self):
+        ref = parse_referenced_attribute("  O3.person  >  P3.name ")
+        assert ref.steps == (("O3", "person"), ("P3", "name"))
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(CorrespondenceError):
+            parse_referenced_attribute("person")
+
+    def test_double_dot_rejected(self):
+        with pytest.raises(CorrespondenceError):
+            parse_referenced_attribute("a.b.c")
+
+    def test_empty_step_rejected(self):
+        with pytest.raises(CorrespondenceError):
+            parse_referenced_attribute("O3. > P3.name")
+
+    def test_empty_steps_rejected(self):
+        with pytest.raises(CorrespondenceError):
+            ReferencedAttribute(())
+
+
+class TestValidation:
+    def test_valid_plain(self, cars3, cars2):
+        correspondence("P3.name", "P2.name").validate(cars3, cars2)
+
+    def test_valid_referenced(self, cars3):
+        from repro.scenarios.cars import cars1_schema
+
+        correspondence("O3.person > P3.name", "C1.name").validate(
+            cars3, cars1_schema()
+        )
+
+    def test_unknown_relation(self, cars3, cars2):
+        with pytest.raises(CorrespondenceError):
+            correspondence("X.name", "P2.name").validate(cars3, cars2)
+
+    def test_unknown_attribute(self, cars3, cars2):
+        with pytest.raises(CorrespondenceError):
+            correspondence("P3.ghost", "P2.name").validate(cars3, cars2)
+
+    def test_path_must_follow_foreign_key(self, cars3, cars2):
+        # P3.name is not a foreign key, so it cannot be traversed.
+        with pytest.raises(CorrespondenceError):
+            correspondence("P3.name > C3.model", "P2.name").validate(cars3, cars2)
+
+    def test_path_must_reach_declared_target(self, cars3, cars2):
+        # O3.person references P3, not C3.
+        with pytest.raises(CorrespondenceError):
+            correspondence("O3.person > C3.model", "P2.name").validate(cars3, cars2)
+
+
+class TestHelpers:
+    def test_correspondences_builder(self):
+        built = correspondences(
+            ("P3.name", "P2.name"),
+            ("P3.email", "P2.email", "p3"),
+        )
+        assert len(built) == 2
+        assert built[0].label == ""
+        assert built[1].label == "p3"
+
+    def test_is_plain(self):
+        assert correspondence("A.x", "B.y").is_plain
+        assert not correspondence("A.x > B.y", "C.z").is_plain
+
+    def test_repr_contains_label(self):
+        c = correspondence("A.x", "B.y", "cn'")
+        assert "cn'" in repr(c)
+        assert "A.x" in repr(c)

@@ -1,0 +1,89 @@
+"""Tests for the name-based correspondence matcher."""
+
+from repro.core.matching import (
+    bootstrap_problem,
+    name_similarity,
+    suggest_correspondences,
+)
+from repro.core.pipeline import MappingSystem
+from repro.scenarios import cars
+
+
+class TestNameSimilarity:
+    def test_exact_match(self):
+        assert name_similarity("person", "person") == 1.0
+
+    def test_case_insensitive(self):
+        assert name_similarity("Person", "PERSON") == 1.0
+
+    def test_partial(self):
+        assert 0 < name_similarity("person", "personId") < 1
+
+    def test_unrelated_low(self):
+        assert name_similarity("car", "email") < 0.5
+
+
+class TestSuggestions:
+    def test_figure1_attributes_matched(self, cars3, cars2):
+        suggestions = suggest_correspondences(cars3, cars2)
+        pairs = {
+            (repr(s.correspondence.source), repr(s.correspondence.target))
+            for s in suggestions
+        }
+        assert ("P3.person", "P2.person") in pairs
+        assert ("P3.name", "P2.name") in pairs
+        assert ("P3.email", "P2.email") in pairs
+        assert ("C3.car", "C2.car") in pairs
+        assert ("C3.model", "C2.model") in pairs
+
+    def test_one_suggestion_per_target_attribute(self, cars3, cars2):
+        suggestions = suggest_correspondences(cars3, cars2)
+        targets = [repr(s.correspondence.target) for s in suggestions]
+        assert len(targets) == len(set(targets))
+
+    def test_sorted_by_score(self, cars3, cars2):
+        suggestions = suggest_correspondences(cars3, cars2)
+        scores = [s.score for s in suggestions]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_referenced_attribute_suggested(self):
+        # CARS3 -> CARS1: C1.name has no plain C-relation counterpart, but
+        # O3.person > P3.name reaches a 'name' attribute.
+        problem = cars.figure4_problem()
+        suggestions = suggest_correspondences(
+            problem.source_schema, problem.target_schema
+        )
+        name_matches = [
+            s for s in suggestions if s.correspondence.target.attribute == "name"
+        ]
+        assert name_matches
+        # A path suggestion exists among all ranked candidates for C1.name:
+        all_suggestions = suggest_correspondences(
+            problem.source_schema, problem.target_schema, threshold=0.3
+        )
+        assert any(
+            not s.correspondence.source.is_plain for s in all_suggestions
+        ) or name_matches[0].correspondence.source.is_plain
+
+    def test_threshold_filters(self, cars3, cars2):
+        strict = suggest_correspondences(cars3, cars2, threshold=0.99)
+        loose = suggest_correspondences(cars3, cars2, threshold=0.2)
+        assert len(strict) <= len(loose)
+        assert all(s.score >= 0.99 for s in strict)
+
+
+class TestBootstrap:
+    def test_bootstrapped_problem_runs_end_to_end(self, cars3, cars2, cars3_instance):
+        problem, suggestions = bootstrap_problem(cars3, cars2, threshold=0.8)
+        assert problem.correspondences
+        assert all(c.label.startswith("auto") for c in problem.correspondences)
+        system = MappingSystem(problem)
+        output = system.transform(cars3_instance)
+        # Exact-name matching recovers enough of Figure 1's lines that the
+        # persons and cars are all moved.
+        assert len(output.relation("P2")) == 2
+        assert len(output.relation("C2")) == 2
+
+    def test_bootstrap_validates_correspondences(self, cars3, cars2):
+        problem, _ = bootstrap_problem(cars3, cars2)
+        problem.validate()

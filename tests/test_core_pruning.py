@@ -1,0 +1,124 @@
+"""Tests for subsumption, implication and non-null-extension pruning."""
+
+from repro.core.candidates import generate_candidates
+from repro.core.chase import MODIFIED, logical_relations
+from repro.core.pruning import implies, prune_candidates, subsumes
+from repro.scenarios import cars
+from repro.scenarios.appendix_a import example_a5, example_a6
+
+
+def _candidates(problem):
+    source = logical_relations(problem.source_schema, mode=MODIFIED)
+    target = logical_relations(problem.target_schema, mode=MODIFIED)
+    return generate_candidates(source, target, problem.correspondences)
+
+
+def _shape(candidate):
+    return (
+        tuple(a.relation for a in candidate.source_tableau.atoms),
+        tuple(a.relation for a in candidate.target_tableau.atoms),
+        bool(candidate.target_tableau.nonnull_vars),
+    )
+
+
+class TestExample52:
+    """Example 5.2: the pruning outcome for the Figure 1 problem."""
+
+    def test_final_mappings(self):
+        generation = _candidates(cars.figure1_problem())
+        result = prune_candidates(generation.candidates)
+        shapes = {_shape(c) for c in result.kept}
+        assert shapes == {
+            (("P3",), ("P2",), False),
+            (("C3",), ("C2",), False),  # the p = null variant
+            (("O3", "C3", "P3"), ("C2", "P2"), True),
+        }
+
+    def test_s2_and_s6_subsumed_by_s1(self):
+        generation = _candidates(cars.figure1_problem())
+        result = prune_candidates(generation.candidates)
+        subsumed = [p for p in result.pruned if p.rule == "subsumption"]
+        assert len(subsumed) == 2
+
+    def test_s5_pruned_by_nonnull_extension(self):
+        generation = _candidates(cars.figure1_problem())
+        result = prune_candidates(generation.candidates)
+        extensions = [p for p in result.pruned if p.rule == "nonnull-extension"]
+        assert len(extensions) == 1
+        assert "covering no more" in extensions[0].reason
+
+    def test_nonnull_extension_can_be_disabled(self):
+        generation = _candidates(cars.figure1_problem())
+        result = prune_candidates(generation.candidates, use_nonnull_extension=False)
+        # S5 (C3 -> C2 nonnull + P2) then survives.
+        shapes = {_shape(c) for c in result.kept}
+        assert (("C3",), ("C2", "P2"), True) in shapes
+
+
+class TestExampleC3:
+    """Example C.3: subsumption and implication with a nullable source."""
+
+    def test_final_mapping_shapes(self):
+        generation = _candidates(cars.figure14_problem())
+        result = prune_candidates(generation.candidates)
+        shapes = {_shape(c) for c in result.kept}
+        assert shapes == {
+            (("P2",), ("P3",), False),
+            (("C2",), ("C3",), False),  # p = null variant
+            (("C2", "P2"), ("O3", "C3", "P3"), False),
+        }
+
+    def test_s5_implied_by_s7(self):
+        generation = _candidates(cars.figure14_problem())
+        result = prune_candidates(generation.candidates)
+        implied = [p for p in result.pruned if p.rule == "implication"]
+        assert len(implied) == 1
+
+    def test_two_subsumptions(self):
+        # S1 subsumes S2 and S6; S3 subsumes S4 (paper's account).
+        generation = _candidates(cars.figure14_problem())
+        result = prune_candidates(generation.candidates)
+        subsumed = [p for p in result.pruned if p.rule == "subsumption"]
+        assert len(subsumed) == 3
+
+
+class TestNonNullExtensionDirection:
+    def test_a5_null_variant_pruned(self):
+        # A.5: the extension covers more -> the null variant is pruned.
+        generation = _candidates(example_a5())
+        result = prune_candidates(generation.candidates)
+        assert len(result.kept) == 1
+        [kept] = result.kept
+        assert tuple(a.relation for a in kept.target_tableau.atoms) == ("Pt", "PDt")
+        reasons = [p for p in result.pruned if p.rule == "nonnull-extension"]
+        assert any("covers strictly more" in p.reason for p in reasons)
+
+    def test_a6_extension_pruned(self):
+        # A.6: the extension covers nothing more -> the extension is pruned.
+        generation = _candidates(example_a6())
+        result = prune_candidates(generation.candidates)
+        assert len(result.kept) == 1
+        [kept] = result.kept
+        assert tuple(a.relation for a in kept.target_tableau.atoms) == ("Pt",)
+
+
+class TestRelationsDirectly:
+    def test_subsumes_requires_equal_coverage(self):
+        generation = _candidates(cars.figure1_problem())
+        by_shape = {_shape(c): c for c in generation.candidates}
+        s1 = by_shape[(("P3",), ("P2",), False)]
+        s7 = by_shape[(("O3", "C3", "P3"), ("C2", "P2"), True)]
+        assert not subsumes(s1, s7)  # V differs
+        s2 = by_shape[(("O3", "C3", "P3"), ("P2",), False)]
+        assert subsumes(s1, s2)
+        assert not subsumes(s2, s1)
+
+    def test_implies_requires_same_source_tableau(self):
+        generation = _candidates(cars.figure14_problem())
+        by_shape = {_shape(c): c for c in generation.candidates}
+        s5 = by_shape[(("C2", "P2"), ("C3",), False)]
+        s7 = by_shape[(("C2", "P2"), ("O3", "C3", "P3"), False)]
+        assert implies(s7, s5)
+        assert not implies(s5, s7)
+        s3 = by_shape[(("C2",), ("C3",), False)]
+        assert not implies(s7, s3)  # different source tableau

@@ -1,0 +1,146 @@
+"""Tests for query generation end to end (Algorithms 2 and 4, Example 6.8)."""
+
+import pytest
+
+from repro.core.query_generation import (
+    build_program,
+    generate_queries,
+    rewrite_to_unitary,
+)
+from repro.core.schema_mapping import BASIC, NOVEL, generate_schema_mapping
+from repro.errors import QueryGenerationError
+from repro.logic.terms import NULL_TERM, SkolemTerm
+from repro.scenarios import cars
+
+
+def _schema_mapping(problem, algorithm=NOVEL):
+    return generate_schema_mapping(
+        problem.source_schema, problem.target_schema, problem.correspondences, algorithm
+    ).schema_mapping
+
+
+class TestUnitaryRewriting:
+    def test_example_6_1(self, figure1_problem):
+        from repro.core.skolem import skolemize_schema_mapping
+
+        schema_mapping = _schema_mapping(figure1_problem)
+        skolemized = skolemize_schema_mapping(
+            list(schema_mapping), figure1_problem.target_schema
+        )
+        unitary = rewrite_to_unitary(skolemized)
+        # m1 -> 1, m2 -> 1, m3 -> 2 unitary mappings.
+        assert [(m.origin, m.consequent.relation) for m in unitary] == [
+            ("m1", "P2"),
+            ("m2", "C2"),
+            ("m3", "C2"),
+            ("m3", "P2"),
+        ]
+        # Provenance names are per-original, per-consequent.
+        assert [m.name for m in unitary] == ["m1.1", "m2.1", "m3.1", "m3.2"]
+
+    def test_premise_shared_between_siblings(self, figure1_problem):
+        from repro.core.skolem import skolemize_schema_mapping
+
+        schema_mapping = _schema_mapping(figure1_problem)
+        skolemized = skolemize_schema_mapping(
+            list(schema_mapping), figure1_problem.target_schema
+        )
+        unitary = rewrite_to_unitary(skolemized)
+        assert unitary[2].premise is unitary[3].premise
+
+
+class TestExample68:
+    """Example 6.8: the final transformation for the Figure 1 problem."""
+
+    def test_rules(self, figure1_problem):
+        result = generate_queries(_schema_mapping(figure1_problem))
+        rules = {
+            (
+                r.head_relation,
+                tuple(a.relation for a in r.body),
+                len(r.negated),
+            )
+            for r in result.program.rules
+        }
+        assert rules == {
+            ("P2", ("P3",), 0),
+            ("C2", ("C3",), 1),
+            ("C2", ("O3", "C3", "P3"), 0),
+            ("OCtmp", ("O3", "C3", "P3"), 0),
+        }
+
+    def test_null_head_value(self, figure1_problem):
+        result = generate_queries(_schema_mapping(figure1_problem))
+        negated = next(r for r in result.program.rules if r.negated)
+        assert negated.head.terms[2] is NULL_TERM
+
+    def test_subsumed_rule_dropped(self, figure1_problem):
+        # "the second rule can be dropped, since it is subsumed by the first"
+        result = generate_queries(_schema_mapping(figure1_problem))
+        p2_rules = result.program.rules_for("P2")
+        assert len(p2_rules) == 1
+        assert [a.relation for a in p2_rules[0].body] == ["P3"]
+
+    def test_optimization_can_be_disabled(self, figure1_problem):
+        result = generate_queries(_schema_mapping(figure1_problem), optimize=False)
+        assert len(result.program.rules_for("P2")) == 2
+
+    def test_tmp_relation_named_from_premise(self, figure1_problem):
+        result = generate_queries(_schema_mapping(figure1_problem))
+        assert "OCtmp" in result.program.intermediates
+        assert result.program.intermediates["OCtmp"] == 1
+
+
+class TestTmpSharing:
+    def test_example_c2_shares_tmp_relations(self):
+        # Rules 1 and 2 of Example C.2 share OCtmp; rules 1 and 3 share DCtmp.
+        problem = cars.figure12_problem()
+        result = generate_queries(_schema_mapping(problem))
+        assert set(result.program.intermediates) == {"OCtmp", "DCtmp"}
+        negation_uses = sum(len(r.negated) for r in result.program.rules)
+        assert negation_uses == 4  # 2 + 1 + 1
+
+    def test_example_c2_rule_count(self):
+        problem = cars.figure12_problem()
+        result = generate_queries(_schema_mapping(problem))
+        # 3 rewritten + 1 fused + 2 tmp rules (paper's six rules).
+        assert len(result.program.rules) == 6
+
+
+class TestBasicAlgorithm:
+    def test_example_2_1_basic_program(self, figure1_problem):
+        result = generate_queries(_schema_mapping(figure1_problem, BASIC), algorithm=BASIC)
+        program = result.program
+        assert not program.intermediates  # no negation in the basic algorithm
+        c2_heads = [r.head for r in program.rules_for("C2")]
+        invented = [
+            h for h in c2_heads if isinstance(h.terms[2], SkolemTerm)
+        ]
+        assert len(invented) == 1  # C2(c, m, f_P(c, m)) <- C3(c, m)
+        assert len(invented[0].terms[2].args) == 2  # Source-and-RHS: (c, m)
+
+    def test_basic_keeps_invented_person_rule(self, figure1_problem):
+        result = generate_queries(_schema_mapping(figure1_problem, BASIC), algorithm=BASIC)
+        p2_rules = result.program.rules_for("P2")
+        bodies = {tuple(a.relation for a in r.body) for r in p2_rules}
+        assert ("C3",) in bodies  # P2(f_P(c,m), f_N(c,m), f_E(c,m)) <- C3(c,m)
+
+
+class TestErrors:
+    def test_unknown_algorithm(self, figure1_problem):
+        with pytest.raises(QueryGenerationError):
+            generate_queries(_schema_mapping(figure1_problem), algorithm="nope")
+
+
+class TestBuildProgram:
+    def test_program_validates(self, figure1_problem):
+        result = generate_queries(_schema_mapping(figure1_problem))
+        result.program.validate()
+
+    def test_result_carries_artifacts(self, figure1_problem):
+        result = generate_queries(_schema_mapping(figure1_problem))
+        assert len(result.skolemized) == 3
+        assert len(result.unitary) == 4
+        assert len(result.final) == 4
+        assert result.resolution is not None
+        assert len(result.resolution.conflicts) == 1

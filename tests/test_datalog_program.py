@@ -1,0 +1,124 @@
+"""Tests for Datalog rules and programs: safety, validation."""
+
+import pytest
+
+from repro.datalog.program import DatalogProgram, Rule
+from repro.errors import DatalogError
+from repro.logic.atoms import Equality, RelationalAtom
+from repro.logic.terms import Constant, Variable
+from repro.model.builder import SchemaBuilder
+
+
+def V(name):
+    return Variable(name)
+
+
+def _simple_schema():
+    return SchemaBuilder("t").relation("T", "k", "v").build()
+
+
+class TestSafety:
+    def test_safe_rule(self):
+        x, y = V("x"), V("y")
+        rule = Rule(
+            head=RelationalAtom("T", (x, y)),
+            body=(RelationalAtom("S", (x, y)),),
+        )
+        rule.check_safety()  # no exception
+
+    def test_unbound_head_variable(self):
+        x, y = V("x"), V("y")
+        rule = Rule(head=RelationalAtom("T", (x, y)), body=(RelationalAtom("S", (x,)),))
+        with pytest.raises(DatalogError):
+            rule.check_safety()
+
+    def test_unbound_negated_variable(self):
+        x, y = V("x"), V("y")
+        rule = Rule(
+            head=RelationalAtom("T", (x,)),
+            body=(RelationalAtom("S", (x,)),),
+            negated=(RelationalAtom("N", (y,)),),
+        )
+        with pytest.raises(DatalogError):
+            rule.check_safety()
+
+    def test_unbound_condition_variable(self):
+        x, y = V("x"), V("y")
+        rule = Rule(
+            head=RelationalAtom("T", (x,)),
+            body=(RelationalAtom("S", (x,)),),
+            null_vars=(y,),
+        )
+        with pytest.raises(DatalogError):
+            rule.check_safety()
+
+    def test_unbound_equality_variable(self):
+        x, y = V("x"), V("y")
+        rule = Rule(
+            head=RelationalAtom("T", (x,)),
+            body=(RelationalAtom("S", (x,)),),
+            equalities=(Equality(x, y),),
+        )
+        with pytest.raises(DatalogError):
+            rule.check_safety()
+
+    def test_constants_in_head_are_safe(self):
+        x = V("x")
+        rule = Rule(
+            head=RelationalAtom("T", (x, Constant("c"))),
+            body=(RelationalAtom("S", (x,)),),
+        )
+        rule.check_safety()
+
+
+class TestProgramValidation:
+    def test_negated_relation_must_be_defined(self):
+        x = V("x")
+        program = DatalogProgram(
+            rules=[
+                Rule(
+                    head=RelationalAtom("T", (x, x)),
+                    body=(RelationalAtom("S", (x,)),),
+                    negated=(RelationalAtom("Ghost", (x,)),),
+                )
+            ],
+            target_schema=_simple_schema(),
+        )
+        with pytest.raises(DatalogError):
+            program.validate()
+
+    def test_recursion_rejected(self):
+        x, y = V("x"), V("y")
+        program = DatalogProgram(
+            rules=[
+                Rule(
+                    head=RelationalAtom("T", (x, y)),
+                    body=(RelationalAtom("T", (y, x)),),
+                )
+            ],
+            target_schema=_simple_schema(),
+        )
+        with pytest.raises(DatalogError):
+            program.validate()
+
+    def test_mutual_recursion_rejected(self):
+        x = V("x")
+        y = V("y")
+        program = DatalogProgram(
+            rules=[
+                Rule(head=RelationalAtom("A", (x,)), body=(RelationalAtom("B", (x,)),)),
+                Rule(head=RelationalAtom("B", (y,)), body=(RelationalAtom("A", (y,)),)),
+            ]
+        )
+        with pytest.raises(DatalogError):
+            program.validate()
+
+    def test_helpers(self):
+        x = V("x")
+        rule_a = Rule(head=RelationalAtom("T", (x, x)), body=(RelationalAtom("S", (x,)),))
+        rule_b = Rule(head=RelationalAtom("U", (x,)), body=(RelationalAtom("S", (x,)),))
+        program = DatalogProgram(rules=[rule_a, rule_b], intermediates={"U": 1})
+        assert program.defined_relations() == ["T", "U"]
+        assert program.rules_for("T") == [rule_a]
+        assert program.target_rules() == [rule_a]
+        assert len(program) == 2

@@ -1,0 +1,160 @@
+"""Tests for stratification ordering and rule-subsumption optimization."""
+
+import pytest
+
+from repro.datalog.optimize import remove_subsumed_rules, subsumes_rule
+from repro.datalog.program import DatalogProgram, Rule
+from repro.datalog.stratify import dependencies, stratify
+from repro.errors import DatalogError
+from repro.logic.atoms import RelationalAtom
+from repro.logic.terms import Variable
+
+
+def V(name):
+    return Variable(name)
+
+
+def _rule(head, *body, negated=(), null_vars=(), nonnull_vars=()):
+    return Rule(
+        head=head,
+        body=tuple(body),
+        negated=tuple(negated),
+        null_vars=tuple(null_vars),
+        nonnull_vars=tuple(nonnull_vars),
+    )
+
+
+class TestStratify:
+    def test_dependencies_ignore_base_relations(self):
+        x = V("x")
+        program = DatalogProgram(
+            rules=[_rule(RelationalAtom("T", (x,)), RelationalAtom("Base", (x,)))]
+        )
+        assert dependencies(program) == {"T": set()}
+
+    def test_tmp_before_consumer(self):
+        x = V("x")
+        program = DatalogProgram(
+            rules=[
+                _rule(
+                    RelationalAtom("T", (x,)),
+                    RelationalAtom("S", (x,)),
+                    negated=[RelationalAtom("Tmp", (x,))],
+                ),
+                _rule(RelationalAtom("Tmp", (x,)), RelationalAtom("S", (x,))),
+            ]
+        )
+        order = stratify(program)
+        assert order.index("Tmp") < order.index("T")
+
+    def test_deterministic_order(self, figure1_problem):
+        from repro.core.pipeline import MappingSystem
+
+        program = MappingSystem(figure1_problem).transformation
+        orders = {tuple(stratify(program)) for _ in range(5)}
+        assert len(orders) == 1
+        order = next(iter(orders))
+        assert order.index("P2") < order.index("C2")  # definition order kept
+
+    def test_cycle_detected(self):
+        x = V("x")
+        program = DatalogProgram(
+            rules=[
+                _rule(RelationalAtom("A", (x,)), RelationalAtom("B", (x,))),
+                _rule(RelationalAtom("B", (x,)), RelationalAtom("A", (x,))),
+            ]
+        )
+        with pytest.raises(DatalogError):
+            stratify(program)
+
+
+class TestRuleSubsumption:
+    def test_smaller_body_subsumes(self):
+        p, n, e = V("p"), V("n"), V("e")
+        c, m = V("c"), V("m")
+        p2, n2, e2 = V("p2"), V("n2"), V("e2")
+        general = _rule(
+            RelationalAtom("P", (p, n, e)), RelationalAtom("Ps", (p, n, e))
+        )
+        specific = _rule(
+            RelationalAtom("P", (p2, n2, e2)),
+            RelationalAtom("O", (c, p2)),
+            RelationalAtom("C", (c, m)),
+            RelationalAtom("Ps", (p2, n2, e2)),
+        )
+        assert subsumes_rule(general, specific)
+        assert not subsumes_rule(specific, general)
+
+    def test_different_heads_do_not_subsume(self):
+        x = V("x")
+        a = _rule(RelationalAtom("A", (x,)), RelationalAtom("S", (x,)))
+        b = _rule(RelationalAtom("B", (x,)), RelationalAtom("S", (x,)))
+        assert not subsumes_rule(a, b)
+
+    def test_negation_blocks_subsumption(self):
+        x = V("x")
+        y = V("y")
+        unguarded = _rule(RelationalAtom("T", (x,)), RelationalAtom("S", (x,)))
+        guarded = _rule(
+            RelationalAtom("T", (y,)),
+            RelationalAtom("S", (y,)),
+            negated=[RelationalAtom("N", (y,))],
+        )
+        # The guarded rule derives a subset: it is subsumed by the unguarded.
+        assert subsumes_rule(unguarded, guarded)
+        # But the unguarded rule is NOT subsumed by the guarded one.
+        assert not subsumes_rule(guarded, unguarded)
+
+    def test_matching_negations_subsume(self):
+        x, y = V("x"), V("y")
+        a = _rule(
+            RelationalAtom("T", (x,)),
+            RelationalAtom("S", (x,)),
+            negated=[RelationalAtom("N", (x,))],
+        )
+        b = _rule(
+            RelationalAtom("T", (y,)),
+            RelationalAtom("S", (y,)),
+            RelationalAtom("Extra", (y,)),
+            negated=[RelationalAtom("N", (y,))],
+        )
+        assert subsumes_rule(a, b)
+
+    def test_null_conditions_respected(self):
+        x, y = V("x"), V("y")
+        a2, b2 = V("a"), V("b")
+        null_rule = _rule(
+            RelationalAtom("T", (x,)), RelationalAtom("S", (x, y)), null_vars=[y]
+        )
+        plain_rule = _rule(RelationalAtom("T", (a2,)), RelationalAtom("S", (a2, b2)))
+        # plain derives a superset of null_rule.
+        assert subsumes_rule(plain_rule, null_rule)
+        assert not subsumes_rule(null_rule, plain_rule)
+
+    def test_remove_subsumed(self):
+        x = V("x")
+        y, z = V("y"), V("z")
+        keep = _rule(RelationalAtom("T", (x,)), RelationalAtom("S", (x,)))
+        drop = _rule(
+            RelationalAtom("T", (y,)), RelationalAtom("S", (y,)), RelationalAtom("R", (y, z))
+        )
+        program = DatalogProgram(rules=[keep, drop])
+        optimized = remove_subsumed_rules(program)
+        assert optimized.rules == [keep]
+
+    def test_exact_duplicates_keep_one(self):
+        x, y = V("x"), V("y")
+        a = _rule(RelationalAtom("T", (x,)), RelationalAtom("S", (x,)))
+        b = _rule(RelationalAtom("T", (y,)), RelationalAtom("S", (y,)))
+        program = DatalogProgram(rules=[a, b])
+        optimized = remove_subsumed_rules(program)
+        assert len(optimized.rules) == 1
+
+    def test_unreferenced_tmp_dropped(self):
+        x = V("x")
+        tmp_rule = _rule(RelationalAtom("Tmp", (x,)), RelationalAtom("S", (x,)))
+        main = _rule(RelationalAtom("T", (x,)), RelationalAtom("S", (x,)))
+        program = DatalogProgram(rules=[main, tmp_rule], intermediates={"Tmp": 1})
+        optimized = remove_subsumed_rules(program)
+        assert optimized.rules == [main]
+        assert not optimized.intermediates

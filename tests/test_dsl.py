@@ -1,0 +1,172 @@
+"""Tests for the text DSL (parser) and the paper-style renderer."""
+
+import pytest
+
+from repro.core.pipeline import MappingSystem
+from repro.dsl.parser import parse_instance, parse_problem, parse_schema
+from repro.dsl.renderer import (
+    FunctorAbbreviator,
+    render_program,
+    render_schema,
+    render_schema_mapping,
+)
+from repro.errors import ParseError
+from repro.model.values import NULL
+
+PROBLEM_TEXT = """
+# The Figure 1 problem, as text.
+source schema CARS3:
+  relation P3 (person key, name, email)
+  relation C3 (car key, model)
+  relation O3 (car key -> C3, person -> P3)
+
+target schema CARS2:
+  relation P2 (person key, name, email)
+  relation C2 (car key, model, person? -> P2)
+
+correspondences:
+  P3.person -> P2.person [p1]
+  P3.name -> P2.name [p2]
+  P3.email -> P2.email [p3]
+  C3.car -> C2.car [c1]
+  C3.model -> C2.model [c2]
+  O3.car -> C2.car [o1]
+  O3.person -> C2.person [o2]
+"""
+
+
+class TestParseProblem:
+    def test_full_problem(self):
+        problem = parse_problem(PROBLEM_TEXT)
+        assert problem.source_schema.name == "CARS3"
+        assert problem.target_schema.relation("C2").is_nullable("person")
+        assert problem.target_schema.foreign_key_from("C2", "person").referenced == "P2"
+        assert len(problem.correspondences) == 7
+        assert problem.correspondences[0].label == "p1"
+
+    def test_parsed_problem_runs_pipeline(self, cars3_instance):
+        from repro.scenarios.cars import figure3_expected_target
+
+        problem = parse_problem(PROBLEM_TEXT)
+        system = MappingSystem(problem)
+        assert system.transform(cars3_instance) == figure3_expected_target()
+
+    def test_referenced_attribute_correspondence(self):
+        text = """
+        source schema S:
+          relation O (car key, person -> P)
+          relation P (person key, name)
+        target schema T:
+          relation C (car key, name?)
+        correspondences:
+          O.car -> C.car
+          O.person > P.name -> C.name [cn']
+        """
+        problem = parse_problem(text)
+        assert problem.correspondences[1].label == "cn'"
+        assert not problem.correspondences[1].source.is_plain
+
+    def test_missing_schema_rejected(self):
+        with pytest.raises(ParseError):
+            parse_problem("correspondences:\n A.x -> B.y")
+
+    def test_duplicate_role_rejected(self):
+        with pytest.raises(ParseError):
+            parse_problem(
+                "source schema A:\n relation R (k)\nsource schema B:\n relation S (k)"
+            )
+
+    def test_relation_outside_section(self):
+        with pytest.raises(ParseError) as error:
+            parse_problem("relation R (k)")
+        assert "line 1" in str(error.value)
+
+    def test_bad_correspondence_line(self):
+        text = PROBLEM_TEXT + "\n  just nonsense\n"
+        with pytest.raises(ParseError):
+            parse_problem(text)
+
+    def test_invalid_correspondence_reported_with_line(self):
+        text = PROBLEM_TEXT + "  P3.ghost -> P2.name\n"
+        with pytest.raises(ParseError) as error:
+            parse_problem(text)
+        assert "ghost" in str(error.value)
+
+
+class TestParseSchema:
+    def test_standalone_schema(self):
+        schema = parse_schema(
+            "relation P (person key, name, email?)\n"
+            "relation C (car key, person? -> P)"
+        )
+        assert schema.relation("P").is_nullable("email")
+        assert schema.foreign_key_from("C", "person") is not None
+
+    def test_composite_key(self):
+        schema = parse_schema("relation E (course key, student key, grade)")
+        assert schema.relation("E").key == ("course", "student")
+
+    def test_bad_modifier(self):
+        with pytest.raises(ParseError):
+            parse_schema("relation P (person primary)")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_schema("   \n  # nothing\n")
+
+
+class TestParseInstance:
+    def test_tuples_and_null(self, cars2):
+        instance = parse_instance(
+            "P2: (p1, John, j@x)\nC2: (c1, Ford, p1), (c2, Opel, null)", cars2
+        )
+        assert ("c2", "Opel", NULL) in instance.relation("C2")
+        assert instance.total_size() == 3
+
+    def test_unknown_relation(self, cars2):
+        with pytest.raises(ParseError):
+            parse_instance("Nope: (1, 2)", cars2)
+
+    def test_missing_colon(self, cars2):
+        with pytest.raises(ParseError):
+            parse_instance("P2 (a, b, c)", cars2)
+
+
+class TestRenderer:
+    def test_render_schema_roundtrips(self, cars2):
+        text = render_schema(cars2)
+        reparsed = parse_schema(text, name="CARS2")
+        assert reparsed.relation("C2").is_nullable("person")
+        assert reparsed.foreign_key_from("C2", "person").referenced == "P2"
+
+    def test_render_schema_mapping_aligns_arrows(self, figure1_problem):
+        system = MappingSystem(figure1_problem)
+        text = render_schema_mapping(system.schema_mapping)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        arrow_columns = {line.index("->") for line in lines}
+        assert len(arrow_columns) == 1
+
+    def test_render_program_shortens_functors(self):
+        from repro.scenarios.cars import figure10_problem
+
+        system = MappingSystem(figure10_problem())
+        text = render_program(system.transformation)
+        assert "@" not in text  # abbreviated
+        assert "fP(" in text  # f_person@m2 -> fP
+
+    def test_render_program_longform(self):
+        from repro.scenarios.cars import figure10_problem
+
+        system = MappingSystem(figure10_problem())
+        text = render_program(system.transformation, shorten=False)
+        assert "f_person@" in text
+
+    def test_abbreviator_disambiguates(self):
+        abbreviator = FunctorAbbreviator()
+        first = abbreviator.shorten("f_person@m1(x)")
+        second = abbreviator.shorten("f_phone@m2(y)")
+        assert first == "fP(x)"
+        assert second == "fP2(y)"
+        # Stable across calls.
+        assert abbreviator.shorten("f_person@m1(z)") == "fP(z)"

@@ -1,0 +1,41 @@
+"""Tests for the semantic transformation analysis."""
+
+from repro.core.pipeline import MappingSystem
+from repro.core.schema_mapping import BASIC
+from repro.exchange.analysis import analyze_transformation
+from repro.scenarios import cars
+
+
+class TestNovelAnalysis:
+    def test_figure1_analysis(self, figure1_problem, cars3_instance):
+        system = MappingSystem(figure1_problem)
+        analysis = analyze_transformation(system, cars3_instance)
+        assert analysis.validation.ok
+        assert analysis.is_canonical_null_policy
+        assert analysis.metrics.distinct_invented == 0
+        assert "canonical (null pol): True" in analysis.summary()
+
+    def test_figure10_sound_but_not_null_canonical(self, cars3_instance):
+        # Mandatory owners force invented values; the output is homomorphic
+        # to the canonical solution but keeps its Skolem structure.
+        system = MappingSystem(cars.figure10_problem())
+        analysis = analyze_transformation(system, cars3_instance)
+        assert analysis.validation.ok
+        assert analysis.is_sound_wrt_canonical
+        assert analysis.metrics.distinct_invented > 0
+
+
+class TestBasicAnalysis:
+    def test_figure1_basic_analysis(self, figure1_problem, cars3_instance):
+        system = MappingSystem(figure1_problem, algorithm=BASIC)
+        analysis = analyze_transformation(system, cars3_instance)
+        assert not analysis.validation.ok  # Figure 2's key violation
+        assert not analysis.is_canonical_null_policy
+        assert analysis.metrics.useless_tuples == 2
+
+    def test_summary_is_printable(self, figure1_problem, cars3_instance):
+        system = MappingSystem(figure1_problem, algorithm=BASIC)
+        analysis = analyze_transformation(system, cars3_instance)
+        text = analysis.summary()
+        assert "key violation" in text
+        assert "useless tuples:       2" in text

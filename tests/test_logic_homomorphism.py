@@ -1,0 +1,102 @@
+"""Tests for homomorphisms between atom sets."""
+
+from repro.logic.atoms import RelationalAtom
+from repro.logic.homomorphism import embeds, find_homomorphism
+from repro.logic.terms import Constant, Variable
+
+
+def V(name):
+    return Variable(name)
+
+
+def test_identity_embedding():
+    x = V("x")
+    atoms = [RelationalAtom("R", (x,))]
+    assignment = find_homomorphism(atoms, atoms)
+    assert assignment == {x: x}
+
+
+def test_embedding_into_superset():
+    x = V("x")
+    a, b = V("a"), V("b")
+    pattern = [RelationalAtom("P", (x,))]
+    target = [RelationalAtom("Q", (a,)), RelationalAtom("P", (b,))]
+    assignment = find_homomorphism(pattern, target)
+    assert assignment == {x: b}
+
+
+def test_no_embedding_when_relation_missing():
+    assert not embeds(
+        [RelationalAtom("P", (V("x"),))],
+        [RelationalAtom("Q", (V("a"),))],
+    )
+
+
+def test_join_variable_consistency():
+    x, y = V("x"), V("y")
+    a, b, c = V("a"), V("b"), V("c")
+    # Pattern shares x between both atoms; target does not share.
+    pattern = [RelationalAtom("R", (x, y)), RelationalAtom("S", (x,))]
+    disconnected = [RelationalAtom("R", (a, b)), RelationalAtom("S", (c,))]
+    assert not embeds(pattern, disconnected)
+    connected = [RelationalAtom("R", (a, b)), RelationalAtom("S", (a,))]
+    assignment = find_homomorphism(pattern, connected)
+    assert assignment == {x: a, y: b}
+
+
+def test_constants_must_match():
+    pattern = [RelationalAtom("R", (Constant("c"),))]
+    assert embeds(pattern, [RelationalAtom("R", (Constant("c"),))])
+    assert not embeds(pattern, [RelationalAtom("R", (Constant("d"),))])
+
+
+def test_fixed_bindings_respected():
+    x = V("x")
+    a, b = V("a"), V("b")
+    pattern = [RelationalAtom("R", (x,))]
+    target = [RelationalAtom("R", (a,)), RelationalAtom("R", (b,))]
+    assignment = find_homomorphism(pattern, target, fixed={x: b})
+    assert assignment == {x: b}
+    # An impossible fixed binding blocks the embedding.
+    z = V("z")
+    assert find_homomorphism(pattern, target, fixed={x: z}) is None
+
+
+def test_var_check_vetoes_bindings():
+    x = V("x")
+    a, b = V("a"), V("b")
+    pattern = [RelationalAtom("R", (x,))]
+    target = [RelationalAtom("R", (a,)), RelationalAtom("R", (b,))]
+    assignment = find_homomorphism(
+        pattern, target, var_check=lambda v, t: t is b
+    )
+    assert assignment == {x: b}
+    assert find_homomorphism(pattern, target, var_check=lambda v, t: False) is None
+
+
+def test_backtracking_over_choices():
+    x, y = V("x"), V("y")
+    a, b = V("a"), V("b")
+    pattern = [RelationalAtom("R", (x, y)), RelationalAtom("S", (y,))]
+    target = [
+        RelationalAtom("R", (a, a)),
+        RelationalAtom("R", (a, b)),
+        RelationalAtom("S", (b,)),
+    ]
+    assignment = find_homomorphism(pattern, target)
+    assert assignment == {x: a, y: b}
+
+
+def test_duplicate_variable_in_pattern_atom():
+    x = V("x")
+    a, b = V("a"), V("b")
+    pattern = [RelationalAtom("R", (x, x))]
+    assert not embeds(pattern, [RelationalAtom("R", (a, b))])
+    assert embeds(pattern, [RelationalAtom("R", (a, a))])
+
+
+def test_arity_mismatch():
+    assert not embeds(
+        [RelationalAtom("R", (V("x"),))],
+        [RelationalAtom("R", (V("a"), V("b")))],
+    )

@@ -1,0 +1,218 @@
+"""Tests for the congruence-closure satisfiability engine.
+
+These checks back the functionality test and the key-conflict test of
+Algorithm 4, so the axioms (Skolem injectivity, disjoint functor ranges,
+invented values distinct from source values, null semantics, key fds) are
+each exercised.
+"""
+
+from repro.logic.atoms import RelationalAtom
+from repro.logic.satisfiability import SAT, UNSAT, TermSolver, check_equal_and_differ
+from repro.logic.terms import NULL_TERM, Constant, SkolemTerm, Variable
+from repro.model.builder import SchemaBuilder
+
+
+def V(name):
+    return Variable(name)
+
+
+class TestTermSolver:
+    def test_basic_union(self):
+        solver = TermSolver()
+        x, y, z = V("x"), V("y"), V("z")
+        solver.assert_equal(x, y)
+        solver.assert_equal(y, z)
+        assert solver.equal(x, z)
+        assert not solver.clashed
+
+    def test_distinct_constants_clash(self):
+        solver = TermSolver()
+        x = V("x")
+        solver.assert_equal(x, Constant("a"))
+        solver.assert_equal(x, Constant("b"))
+        assert solver.clashed
+
+    def test_same_constant_no_clash(self):
+        solver = TermSolver()
+        x = V("x")
+        solver.assert_equal(x, Constant("a"))
+        solver.assert_equal(x, Constant("a"))
+        assert not solver.clashed
+
+    def test_null_vs_constant_clash(self):
+        solver = TermSolver()
+        x = V("x")
+        solver.assert_null(x)
+        solver.assert_equal(x, Constant("a"))
+        assert solver.clashed
+
+    def test_null_vs_nonnull_clash(self):
+        solver = TermSolver()
+        x = V("x")
+        solver.assert_nonnull(x)
+        solver.assert_null(x)
+        assert solver.clashed
+
+    def test_skolem_vs_variable_clash(self):
+        # Invented values are distinct from every source value (paper sec. 6).
+        solver = TermSolver()
+        x, y = V("x"), V("y")
+        solver.assert_equal(x, SkolemTerm("f", [y]))
+        assert solver.clashed
+
+    def test_skolem_vs_constant_clash(self):
+        solver = TermSolver()
+        solver.assert_equal(SkolemTerm("f", []), Constant("a"))
+        assert solver.clashed
+
+    def test_skolem_vs_null_clash(self):
+        solver = TermSolver()
+        solver.assert_equal(SkolemTerm("f", []), NULL_TERM)
+        assert solver.clashed
+
+    def test_different_functors_clash(self):
+        solver = TermSolver()
+        x = V("x")
+        solver.assert_equal(SkolemTerm("f", [x]), SkolemTerm("g", [x]))
+        assert solver.clashed
+
+    def test_injectivity_decomposes_args(self):
+        solver = TermSolver()
+        x, y = V("x"), V("y")
+        solver.assert_equal(SkolemTerm("f", [x]), SkolemTerm("f", [y]))
+        assert not solver.clashed
+        assert solver.equal(x, y)
+
+    def test_congruence_merges_applications(self):
+        solver = TermSolver()
+        x, y = V("x"), V("y")
+        fx, fy = SkolemTerm("f", [x]), SkolemTerm("f", [y])
+        solver.find(fx)
+        solver.find(fy)
+        solver.assert_equal(x, y)
+        assert solver.equal(fx, fy)
+
+    def test_nested_congruence(self):
+        solver = TermSolver()
+        x, y = V("x"), V("y")
+        gfx = SkolemTerm("g", [SkolemTerm("f", [x])])
+        gfy = SkolemTerm("g", [SkolemTerm("f", [y])])
+        solver.find(gfx)
+        solver.find(gfy)
+        solver.assert_equal(x, y)
+        assert solver.equal(gfx, gfy)
+
+    def test_key_fd_chase(self):
+        schema = SchemaBuilder("s").relation("R", "k", "v").build()
+        solver = TermSolver()
+        k1, v1, k2, v2 = V("k1"), V("v1"), V("k2"), V("v2")
+        atoms = [RelationalAtom("R", (k1, v1)), RelationalAtom("R", (k2, v2))]
+        solver.assert_equal(k1, k2)
+        solver.chase_keys(atoms, schema)
+        assert solver.equal(v1, v2)
+
+    def test_key_fd_chase_composite(self):
+        schema = SchemaBuilder("s").relation("R", "a", "b", "v", key=["a", "b"]).build()
+        solver = TermSolver()
+        a1, b1, v1 = V("a1"), V("b1"), V("v1")
+        a2, b2, v2 = V("a2"), V("b2"), V("v2")
+        atoms = [RelationalAtom("R", (a1, b1, v1)), RelationalAtom("R", (a2, b2, v2))]
+        solver.assert_equal(a1, a2)
+        solver.chase_keys(atoms, schema)
+        assert not solver.equal(v1, v2)  # keys agree only on a
+        solver.assert_equal(b1, b2)
+        solver.chase_keys(atoms, schema)
+        assert solver.equal(v1, v2)
+
+
+class TestCheckEqualAndDiffer:
+    def _schema(self):
+        return (
+            SchemaBuilder("s")
+            .relation("R", "k", "v", "w?")
+            .build()
+        )
+
+    def test_forced_equal_is_unsat(self):
+        schema = self._schema()
+        k1, v1, w1 = V("k1"), V("v1"), V("w1")
+        k2, v2, w2 = V("k2"), V("v2"), V("w2")
+        atoms = [RelationalAtom("R", (k1, v1, w1)), RelationalAtom("R", (k2, v2, w2))]
+        # Same key forces same v by the key fd.
+        assert (
+            check_equal_and_differ(atoms, schema, [(k1, k2)], (v1, v2)) is UNSAT
+        )
+
+    def test_unconstrained_can_differ(self):
+        schema = self._schema()
+        k1, v1, w1 = V("k1"), V("v1"), V("w1")
+        k2, v2, w2 = V("k2"), V("v2"), V("w2")
+        atoms = [RelationalAtom("R", (k1, v1, w1)), RelationalAtom("R", (k2, v2, w2))]
+        assert check_equal_and_differ(atoms, schema, [], (v1, v2)) is SAT
+
+    def test_mandatory_position_cannot_be_null(self):
+        schema = self._schema()
+        k, v, w = V("k"), V("v"), V("w")
+        atoms = [RelationalAtom("R", (k, v, w))]
+        # v = null contradicts v being in a mandatory position.
+        assert (
+            check_equal_and_differ(atoms, schema, [(v, NULL_TERM)], (k, V("z")))
+            is UNSAT
+        )
+
+    def test_nullable_position_can_be_null(self):
+        schema = self._schema()
+        k, v, w = V("k"), V("v"), V("w")
+        atoms = [RelationalAtom("R", (k, v, w))]
+        assert (
+            check_equal_and_differ(atoms, schema, [(w, NULL_TERM)], (k, V("z")))
+            is SAT
+        )
+
+    def test_null_condition_conflicts_with_nonnull(self):
+        schema = self._schema()
+        k, v, w = V("k"), V("v"), V("w")
+        atoms = [RelationalAtom("R", (k, v, w))]
+        assert (
+            check_equal_and_differ(
+                atoms, schema, [], (k, V("z")), null_terms=[w], nonnull_terms=[w]
+            )
+            is UNSAT
+        )
+
+    def test_null_vs_null_cannot_differ(self):
+        schema = self._schema()
+        k, v, w = V("k"), V("v"), V("w")
+        atoms = [RelationalAtom("R", (k, v, w))]
+        assert (
+            check_equal_and_differ(atoms, schema, [], (NULL_TERM, NULL_TERM))
+            is UNSAT
+        )
+
+    def test_skolem_key_equality_unsat_with_variable(self):
+        # A mapping whose key is invented never conflicts with one whose key
+        # is copied (paper Example 6.3).
+        schema = self._schema()
+        k1, v1, w1 = V("k1"), V("v1"), V("w1")
+        k2, v2, w2 = V("k2"), V("v2"), V("w2")
+        atoms = [RelationalAtom("R", (k1, v1, w1)), RelationalAtom("R", (k2, v2, w2))]
+        skolem = SkolemTerm("f", [v1])
+        assert (
+            check_equal_and_differ(atoms, schema, [(skolem, k2)], (v1, v2)) is UNSAT
+        )
+
+    def test_same_functor_keys_decompose(self):
+        schema = self._schema()
+        k1, v1, w1 = V("k1"), V("v1"), V("w1")
+        k2, v2, w2 = V("k2"), V("v2"), V("w2")
+        atoms = [RelationalAtom("R", (k1, v1, w1)), RelationalAtom("R", (k2, v2, w2))]
+        # f(k1) = f(k2) forces k1 = k2, and the key fd then forces v1 = v2.
+        assert (
+            check_equal_and_differ(
+                atoms,
+                schema,
+                [(SkolemTerm("f", [k1]), SkolemTerm("f", [k2]))],
+                (v1, v2),
+            )
+            is UNSAT
+        )

@@ -1,0 +1,106 @@
+"""Tests for partial tableaux: levels, identity, non-null extension."""
+
+from repro.core.chase import MODIFIED, STANDARD, chase_relation
+from repro.logic.tableau import MAND, NONNULL, NULL
+
+
+def _by_conditions(tableaux):
+    """Index CARS2's C2 tableaux by whether person is null."""
+    result = {}
+    for tableau in tableaux:
+        for (path, attr), choice in tableau.decisions.items():
+            if attr == "person":
+                result[choice] = tableau
+    return result
+
+
+class TestTableauStructure:
+    def test_root_and_children(self, cars2):
+        tableaux = chase_relation(cars2, "C2", MODIFIED)
+        variants = _by_conditions(tableaux)
+        nonnull = variants[NONNULL]
+        assert nonnull.root_relation == "C2"
+        assert nonnull.root_atom.relation == "C2"
+        assert [a.relation for a in nonnull.atoms] == ["C2", "P2"]
+        assert nonnull.child_of(0, "person") == 1
+        assert nonnull.child_of(0, "car") is None
+        assert nonnull.paths == ((), ("person",))
+
+    def test_shared_join_variable(self, cars2):
+        tableaux = chase_relation(cars2, "C2", MODIFIED)
+        nonnull = _by_conditions(tableaux)[NONNULL]
+        fk_term = nonnull.term_at(0, "person")
+        key_term = nonnull.term_at(1, "person")
+        assert fk_term is key_term
+
+    def test_atoms_for(self, cars2):
+        nonnull = _by_conditions(chase_relation(cars2, "C2", MODIFIED))[NONNULL]
+        assert nonnull.atoms_for("P2") == [1]
+        assert nonnull.atoms_for("C2") == [0]
+        assert nonnull.atoms_for("zzz") == []
+
+
+class TestAttributeLevels:
+    def test_mandatory_level(self, cars2):
+        tableaux = chase_relation(cars2, "P2", MODIFIED)
+        assert len(tableaux) == 1
+        assert tableaux[0].attribute_level(0, "name") == MAND
+
+    def test_null_and_nonnull_levels(self, cars2):
+        variants = _by_conditions(chase_relation(cars2, "C2", MODIFIED))
+        assert variants[NULL].attribute_level(0, "person") == NULL
+        assert variants[NONNULL].attribute_level(0, "person") == NONNULL
+
+    def test_standard_chase_has_mand_levels(self, cars2):
+        tableaux = chase_relation(cars2, "C2", STANDARD)
+        assert len(tableaux) == 1
+        # Standard tableaux carry no conditions: present attributes are plain.
+        assert tableaux[0].attribute_level(0, "person") == MAND
+
+
+class TestIdentityAndExtension:
+    def test_signature_equality(self, cars2):
+        first = chase_relation(cars2, "C2", MODIFIED)
+        second = chase_relation(cars2, "C2", MODIFIED)
+        firsts = _by_conditions(first)
+        seconds = _by_conditions(second)
+        assert firsts[NULL] == seconds[NULL]
+        assert firsts[NULL] != seconds[NONNULL]
+        assert hash(firsts[NULL]) == hash(seconds[NULL])
+
+    def test_nonnull_extension_of_null_sibling(self, cars2):
+        variants = _by_conditions(chase_relation(cars2, "C2", MODIFIED))
+        assert variants[NONNULL].is_nonnull_extension_of(variants[NULL])
+        assert not variants[NULL].is_nonnull_extension_of(variants[NONNULL])
+        assert not variants[NULL].is_nonnull_extension_of(variants[NULL])
+
+    def test_extension_requires_same_root(self, cars2):
+        c2 = _by_conditions(chase_relation(cars2, "C2", MODIFIED))[NONNULL]
+        p2 = chase_relation(cars2, "P2", MODIFIED)[0]
+        assert not c2.is_nonnull_extension_of(p2)
+
+    def test_non_fk_nullable_is_not_an_extension(self):
+        # Nullable attributes without a foreign key split the tableau but do
+        # NOT create the ≺ relation (the definition prunes over nullable FKs).
+        from repro.model.builder import SchemaBuilder
+
+        schema = SchemaBuilder("s").relation("R", "k", "v?").build()
+        tableaux = chase_relation(schema, "R", MODIFIED)
+        assert len(tableaux) == 2
+        a, b = tableaux
+        assert not a.is_nonnull_extension_of(b)
+        assert not b.is_nonnull_extension_of(a)
+
+    def test_deep_extension_chain(self):
+        from repro.scenarios.synthetic import chain_schema
+
+        schema = chain_schema(2, nullable_links=True)
+        tableaux = chase_relation(schema, "R0", MODIFIED)
+        # Prefixes: R0 | R0,R1 | R0,R1,R2 — 3 tableaux.
+        assert len(tableaux) == 3
+        by_size = sorted(tableaux, key=len)
+        assert [len(t) for t in by_size] == [1, 2, 3]
+        assert by_size[1].is_nonnull_extension_of(by_size[0])
+        assert by_size[2].is_nonnull_extension_of(by_size[1])
+        assert by_size[2].is_nonnull_extension_of(by_size[0])
+        assert not by_size[0].is_nonnull_extension_of(by_size[1])

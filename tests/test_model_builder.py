@@ -1,0 +1,52 @@
+"""Tests for the fluent schema builder."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.builder import SchemaBuilder, parse_attribute
+
+
+def test_parse_attribute_nullable_suffix():
+    attribute = parse_attribute("email?")
+    assert attribute.name == "email"
+    assert attribute.nullable
+
+
+def test_parse_attribute_plain():
+    attribute = parse_attribute("name")
+    assert attribute.name == "name"
+    assert not attribute.nullable
+
+
+def test_builder_roundtrip():
+    schema = (
+        SchemaBuilder("S")
+        .relation("P", "person", "name", "email?", key="person")
+        .relation("C", "car", "model", "person?", key="car")
+        .foreign_key("C", "person", "P")
+        .build()
+    )
+    assert schema.name == "S"
+    assert schema.relation("P").is_nullable("email")
+    assert not schema.relation("P").is_nullable("name")
+    assert schema.foreign_key_from("C", "person").referenced == "P"
+
+
+def test_default_key_is_first_attribute():
+    schema = SchemaBuilder("S").relation("P", "id", "x").build()
+    assert schema.relation("P").key == ("id",)
+
+
+def test_empty_schema_rejected():
+    with pytest.raises(SchemaError):
+        SchemaBuilder("S").build()
+
+
+def test_validation_can_be_skipped():
+    builder = (
+        SchemaBuilder("S")
+        .relation("E", "id", "boss")
+        .foreign_key("E", "boss", "E")
+    )
+    schema = builder.build(validate=False)  # no weak-acyclicity check
+    assert schema.has_foreign_key_from("E", "boss")

@@ -1,0 +1,236 @@
+"""Integration tests for the appendix examples (A, B and C)."""
+
+import pytest
+
+from repro.core.pipeline import MappingSystem
+from repro.core.query_generation import generate_queries, rewrite_to_unitary
+from repro.core.schema_mapping import generate_schema_mapping
+from repro.core.skolem import (
+    ALL_SOURCE_OR_KEY_VARS,
+    ALL_SOURCE_VARS,
+    SOURCE_AND_RHS_VARS,
+    SOURCE_HERE_AND_REF_VARS,
+    skolemize_schema_mapping,
+)
+from repro.datalog.engine import evaluate
+from repro.exchange.instance_chase import canonical_universal_solution
+from repro.exchange.metrics import measure_instance
+from repro.exchange.solutions import is_homomorphic_to, is_universal_solution
+from repro.logic.terms import NULL_TERM, SkolemTerm
+from repro.model.values import NULL, is_labeled_null
+from repro.scenarios.appendix_a import ALL_EXAMPLES
+from repro.scenarios.appendix_b import ALL_SCENARIOS
+from repro.scenarios.appendix_c import example_c4_problem
+from repro.model.instance import instance_from_dict
+
+
+class TestAppendixA:
+    """The desired transformations of Examples A.1–A.10."""
+
+    def _run(self, name, data):
+        problem = ALL_EXAMPLES[name]()
+        system = MappingSystem(problem)
+        source = instance_from_dict(problem.source_schema, data)
+        return system, system.transform(source)
+
+    def test_a1_straight_copy(self):
+        _, output = self._run("A.1", {"Ps": [("p1", "n1", "e1")]})
+        assert set(output.relation("Pt").rows) == {("p1", "n1", "e1")}
+
+    def test_a2_invented_key(self):
+        _, output = self._run("A.2", {"Ps": [("p1", "n1", "e1")]})
+        [(pid, name, email)] = output.relation("Pt").rows
+        assert is_labeled_null(pid)
+        assert (name, email) == ("n1", "e1")
+
+    def test_a3_invented_mandatory_email(self):
+        _, output = self._run("A.3", {"Ps": [("p1", "n1")]})
+        [(_, _, email)] = output.relation("Pt").rows
+        assert is_labeled_null(email)
+
+    def test_a4_null_for_nullable_email(self):
+        # "assigning a null value is the best policy" — not a Skolem.
+        _, output = self._run("A.4", {"Ps": [("p1", "n1")]})
+        assert set(output.relation("Pt").rows) == {("p1", "n1", NULL)}
+
+    def test_a5_invented_fk_and_data_tuple(self):
+        _, output = self._run("A.5", {"Ps": [("p1", "n1", "e1")]})
+        [(person, data)] = output.relation("Pt").rows
+        assert person == "p1" and is_labeled_null(data)
+        [(data2, name, email)] = output.relation("PDt").rows
+        assert data2 == data and (name, email) == ("n1", "e1")
+
+    def test_a6_null_fk_no_useless_tuple(self):
+        _, output = self._run("A.6", {"Ps": [("p1", "n1")]})
+        assert set(output.relation("Pt").rows) == {("p1", NULL)}
+        assert len(output.relation("PDt")) == 0
+
+    def test_a7_null_emails_get_invented_values(self):
+        _, output = self._run(
+            "A.7", {"Ps": [("p1", "n1", "e1"), ("p2", "n2", NULL)]}
+        )
+        rows = {row[0]: row for row in output.relation("Pt")}
+        assert rows["p1"][2] == "e1"
+        assert is_labeled_null(rows["p2"][2])
+
+    def test_a8_no_null_propagation_needed(self):
+        _, output = self._run("A.8", {"Ps": [("p1", "n1", "e1")]})
+        assert set(output.relation("Pt").rows) == {("p1", "n1", "e1")}
+
+    def test_a9_polarity_preserved(self):
+        _, output = self._run(
+            "A.9", {"Ps": [("p1", "n1", "e1"), ("p2", "n2", NULL)]}
+        )
+        assert set(output.relation("Pt").rows) == {
+            ("p1", "n1", "e1"),
+            ("p2", "n2", NULL),
+        }
+
+    def test_a10_both_polarities_copied(self):
+        _, output = self._run(
+            "A.10", {"Ps": [("p1", "n1", "e1"), ("p2", "n2", NULL)]}
+        )
+        assert set(output.relation("Pt").rows) == {("p1", "n1"), ("p2", "n2")}
+
+    @pytest.mark.parametrize("name", sorted(ALL_EXAMPLES))
+    def test_outputs_satisfy_target_constraints(self, name):
+        from repro.model.validation import validate_instance
+
+        problem = ALL_EXAMPLES[name]()
+        system = MappingSystem(problem)
+        ps = problem.source_schema.relation("Ps")
+        rows = [("p1", "n1", "e1")[: ps.arity], ("p2", "n2", "e2")[: ps.arity]]
+        if ps.has_attribute("email") and ps.is_nullable("email"):
+            rows.append(("p3", "n3", NULL))
+        source = instance_from_dict(problem.source_schema, {"Ps": rows})
+        assert validate_instance(source).ok  # valid input data
+        assert validate_instance(system.transform(source)).ok
+
+
+def _evaluate_b(scenario, strategy):
+    """Appendix B studies skolemization in isolation: build the program from
+    the skolemized unitary mappings directly, without the novel algorithm's
+    functionality check and key-conflict resolution (which would rightly
+    reject, e.g., All-Source-Vars on B.4)."""
+    from repro.core.query_generation import build_program
+
+    skolemized = skolemize_schema_mapping(
+        list(scenario.schema_mapping), scenario.target_schema, strategy=strategy
+    )
+    program = build_program(
+        rewrite_to_unitary(skolemized),
+        scenario.source_schema,
+        scenario.target_schema,
+    )
+    return evaluate(program, scenario.source_instance).target
+
+
+class TestAppendixB:
+    """Per-strategy target instances for B.1–B.5 (sizes and universality)."""
+
+    def test_b1_sizes(self):
+        scenario = ALL_SCENARIOS["B.1"]()
+        assert len(_evaluate_b(scenario, ALL_SOURCE_VARS).relation("Studentt")) == 4
+        assert len(_evaluate_b(scenario, SOURCE_AND_RHS_VARS).relation("Studentt")) == 3
+        assert len(_evaluate_b(scenario, ALL_SOURCE_OR_KEY_VARS).relation("Studentt")) == 4
+        assert len(_evaluate_b(scenario, SOURCE_HERE_AND_REF_VARS).relation("Studentt")) == 3
+
+    def test_b1_universality(self):
+        scenario = ALL_SCENARIOS["B.1"]()
+        canonical = canonical_universal_solution(
+            scenario.schema_mapping, scenario.source_instance
+        )
+        for strategy in (ALL_SOURCE_VARS, SOURCE_AND_RHS_VARS):
+            output = _evaluate_b(scenario, strategy)
+            assert is_universal_solution(output, canonical), strategy
+
+    def test_b2_sizes(self):
+        scenario = ALL_SCENARIOS["B.2"]()
+        assert len(_evaluate_b(scenario, ALL_SOURCE_VARS).relation("Studentt")) == 4
+        assert len(_evaluate_b(scenario, SOURCE_AND_RHS_VARS).relation("Studentt")) == 2
+
+    def test_b3_schoolt_per_strategy(self):
+        scenario = ALL_SCENARIOS["B.3"]()
+        # All-Source-Vars: one school per student tuple (universal).
+        assert len(_evaluate_b(scenario, ALL_SOURCE_VARS).relation("Schoolt")) == 4
+        # Source-Here-and-Ref-Vars: one school per school *name* — NOT
+        # universal (the paper's key observation in B.3).
+        shr = _evaluate_b(scenario, SOURCE_HERE_AND_REF_VARS)
+        assert len(shr.relation("Schoolt")) == 2
+        canonical = canonical_universal_solution(
+            scenario.schema_mapping, scenario.source_instance
+        )
+        assert not is_universal_solution(shr, canonical)
+        assert is_universal_solution(
+            _evaluate_b(scenario, ALL_SOURCE_VARS), canonical
+        )
+
+    def test_b4_functionality_gap(self):
+        # All-Source-Vars invents a city per *student* -> key violation on
+        # Schoolt; All-Source-Or-Key-Vars invents per school -> functional.
+        scenario = ALL_SCENARIOS["B.4"]()
+        wide = _evaluate_b(scenario, ALL_SOURCE_VARS)
+        assert measure_instance(wide).key_violations > 0
+        tight = _evaluate_b(scenario, ALL_SOURCE_OR_KEY_VARS)
+        metrics = measure_instance(tight)
+        assert metrics.key_violations == 0
+        assert len(tight.relation("Schoolt")) == 2
+
+    def test_b5_sizes(self):
+        scenario = ALL_SCENARIOS["B.5"]()
+        assert len(_evaluate_b(scenario, ALL_SOURCE_OR_KEY_VARS).relation("Schoolt")) == 4
+        assert len(_evaluate_b(scenario, SOURCE_HERE_AND_REF_VARS).relation("Schoolt")) == 2
+
+    def test_all_source_or_key_always_universal_and_functional(self):
+        # Appendix B's conclusion, checked on every scenario.
+        for name, factory in ALL_SCENARIOS.items():
+            scenario = factory()
+            output = _evaluate_b(scenario, ALL_SOURCE_OR_KEY_VARS)
+            canonical = canonical_universal_solution(
+                scenario.schema_mapping, scenario.source_instance
+            )
+            assert is_homomorphic_to(output, canonical), name
+            assert measure_instance(output).key_violations == 0, name
+
+
+class TestExampleC4Transformation:
+    def test_winner_takes_all_per_key(self):
+        problem = example_c4_problem()
+        system = MappingSystem(problem)
+        source = instance_from_dict(
+            problem.source_schema,
+            {
+                "S1": [("k1", "a1", "b1", "c1"), ("k3", "a3", "b3", "c3")],
+                "S2": [("k1", "a2", "b2", "c2"), ("k2", "aa", "bb", "cc")],
+                "S3": [("k1", "ax", "bx", "cx")],
+            },
+        )
+        output = system.transform(source)
+        rows = {row[0]: row for row in output.relation("T")}
+        assert len(rows) == 3
+        # k1 appears in all three sources: the triple fusion applies.
+        assert rows["k1"] == ("k1", "a1", "b2", "cx")
+        # k2 only in S2: a invented, b copied, c null.
+        assert is_labeled_null(rows["k2"][1])
+        assert rows["k2"][2] == "bb"
+        assert rows["k2"][3] is NULL
+        # k3 only in S1: a copied, b invented, c null.
+        assert rows["k3"][1] == "a3"
+        assert is_labeled_null(rows["k3"][2])
+
+    def test_no_key_violations_ever(self):
+        from repro.model.validation import validate_instance
+
+        problem = example_c4_problem()
+        system = MappingSystem(problem)
+        source = instance_from_dict(
+            problem.source_schema,
+            {
+                "S1": [(f"k{i}", f"a{i}", f"b{i}", f"c{i}") for i in range(6)],
+                "S2": [(f"k{i}", f"x{i}", f"y{i}", f"z{i}") for i in range(3, 9)],
+                "S3": [(f"k{i}", f"q{i}", f"r{i}", f"s{i}") for i in range(0, 9, 2)],
+            },
+        )
+        output = system.transform(source)
+        assert validate_instance(output).ok
+        assert len(output.relation("T")) == 9

@@ -1,0 +1,138 @@
+"""More property-based tests: C.2 at random, parser robustness, metrics."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import MappingSystem
+from repro.dsl.parser import parse_instance, parse_problem, parse_schema
+from repro.errors import ParseError, ReproError
+from repro.exchange.metrics import measure_instance
+from repro.model.instance import Instance
+from repro.model.validation import validate_instance
+from repro.model.values import NULL
+from repro.scenarios import cars
+from repro.scenarios.composite import enrollment_problem
+
+
+# ---------------------------------------------------------------------------
+# Example C.2 (owners and drivers) on arbitrary instances
+# ---------------------------------------------------------------------------
+
+@st.composite
+def cars4_instances(draw):
+    n_persons = draw(st.integers(min_value=1, max_value=5))
+    n_cars = draw(st.integers(min_value=0, max_value=6))
+    instance = Instance(cars.cars4_schema())
+    for i in range(n_persons):
+        instance.add("P4", (f"p{i}", f"name{i}", f"mail{i}"))
+    for i in range(n_cars):
+        instance.add("C4", (f"c{i}", f"model{i % 2}"))
+        if draw(st.booleans()):
+            instance.add("O4", (f"c{i}", f"p{draw(st.integers(0, n_persons - 1))}"))
+        if draw(st.booleans()):
+            instance.add("D4", (f"c{i}", f"p{draw(st.integers(0, n_persons - 1))}"))
+    return instance
+
+
+@settings(max_examples=30, deadline=None)
+@given(cars4_instances())
+def test_c2_one_tuple_per_car_with_correct_names(source):
+    system = MappingSystem(cars.figure12_problem())
+    output = system.transform(source)
+    assert validate_instance(output).ok
+    rows = {row[0]: row for row in output.relation("Cod")}
+    assert len(rows) == len(source.relation("C4"))
+    person_names = {row[0]: row[1] for row in source.relation("P4")}
+    owners = {row[0]: person_names[row[1]] for row in source.relation("O4")}
+    drivers = {row[0]: person_names[row[1]] for row in source.relation("D4")}
+    for car, row in rows.items():
+        assert row[2] == owners.get(car, NULL)
+        assert row[3] == drivers.get(car, NULL)
+
+
+# ---------------------------------------------------------------------------
+# Composite-key consolidation at random
+# ---------------------------------------------------------------------------
+
+@st.composite
+def enrollment_instances(draw):
+    problem = enrollment_problem()
+    instance = Instance(problem.source_schema)
+    keys = [("c%d" % c, "s%d" % s) for c in range(3) for s in range(3)]
+    graded = draw(st.lists(st.sampled_from(keys), max_size=6, unique=True))
+    mentored = draw(st.lists(st.sampled_from(keys), max_size=6, unique=True))
+    for course, student in graded:
+        instance.add("Grade", (course, student, "A"))
+    for course, student in mentored:
+        instance.add("Mentor", (course, student, "m"))
+    return instance, set(graded), set(mentored)
+
+
+@settings(max_examples=30, deadline=None)
+@given(enrollment_instances())
+def test_enrollment_fusion_covers_exactly_the_union(data):
+    source, graded, mentored = data
+    system = MappingSystem(enrollment_problem())
+    output = system.transform(source)
+    assert validate_instance(output).ok
+    rows = {(row[0], row[1]): row for row in output.relation("Enrollment")}
+    assert set(rows) == graded | mentored
+    for key, row in rows.items():
+        assert (row[2] == "A") == (key in graded)
+        assert (row[3] == "m") == (key in mentored)
+
+
+# ---------------------------------------------------------------------------
+# Parser robustness: random text never crashes with a non-library error
+# ---------------------------------------------------------------------------
+
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), max_codepoint=0x2FF),
+    max_size=200,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_text)
+def test_parse_problem_raises_only_library_errors(text):
+    try:
+        parse_problem(text)
+    except ReproError:
+        pass  # ParseError and friends are the contract
+
+
+@settings(max_examples=80, deadline=None)
+@given(_text)
+def test_parse_schema_raises_only_library_errors(text):
+    try:
+        parse_schema(text)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=50, deadline=None)
+@given(_text)
+def test_parse_instance_raises_only_library_errors(text):
+    schema = cars.cars2_schema()
+    try:
+        parse_instance(text, schema)
+    except ReproError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Metrics invariants
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30))
+def test_metrics_are_consistent(n_persons, n_cars):
+    from repro.scenarios.synthetic import cars3_instance
+
+    instance = cars3_instance(n_persons, n_cars, seed=n_persons * 31 + n_cars)
+    metrics = measure_instance(instance)
+    assert metrics.total_tuples == instance.total_size()
+    assert metrics.invented_values >= metrics.distinct_invented >= 0
+    assert metrics.useless_tuples + metrics.partially_invented_tuples <= metrics.total_tuples
+    assert metrics.ok  # generator produces valid instances

@@ -1,0 +1,93 @@
+"""End-to-end tests for the bibliography-consolidation scenario."""
+
+from repro.core.pipeline import MappingSystem
+from repro.dsl.report import explain
+from repro.exchange.analysis import analyze_transformation
+from repro.model.validation import validate_instance
+from repro.scenarios.publications import (
+    digest_expected_target,
+    digest_problem,
+    pubs_source_instance,
+)
+from repro.sqlgen import run_on_sqlite
+
+
+def test_schema_mapping_shape():
+    system = MappingSystem(digest_problem())
+    premises = {
+        tuple(sorted(a.relation for a in m.premise.atoms))
+        for m in system.schema_mapping
+    }
+    # Papers with venues; awarded papers; current venues.
+    assert ("Paper", "Venue") in premises
+    assert ("Award", "Paper", "Venue") in premises
+    assert ("Venue",) in premises
+
+
+def test_transformation_output_exact():
+    system = MappingSystem(digest_problem())
+    output = system.transform(pubs_source_instance())
+    assert output == digest_expected_target()
+    assert validate_instance(output).ok
+
+
+def test_award_conflict_resolved_with_negation():
+    system = MappingSystem(digest_problem())
+    resolution = system.query_result().resolution
+    assert resolution is not None
+    conflicts = [c for c in resolution.conflicts if c.attribute == "prize"]
+    assert len(conflicts) == 1
+    assert not conflicts[0].is_hard
+    # The null-prize mapping is disabled when an award exists.
+    negated = [m for m in system.query_result().final if m.premise.negated]
+    assert negated
+
+
+def test_filter_restricts_current_venues():
+    problem = digest_problem(current_year="2023")
+    output = MappingSystem(problem).transform(pubs_source_instance())
+    assert set(output.relation("CurrentVenue").rows) == {("v2", "VLDB")}
+
+
+def test_sqlite_parity_with_enforced_constraints():
+    system = MappingSystem(digest_problem())
+    source = pubs_source_instance()
+    assert run_on_sqlite(
+        system.transformation, source, enforce_constraints=True
+    ) == system.transform(source)
+
+
+def test_analysis_is_canonical():
+    system = MappingSystem(digest_problem())
+    analysis = analyze_transformation(system, pubs_source_instance())
+    assert analysis.validation.ok
+    assert analysis.is_canonical_null_policy
+    assert analysis.is_universal
+
+
+def test_explain_runs():
+    text = explain(MappingSystem(digest_problem()))
+    assert "Pub" in text and "CurrentVenue" in text
+
+
+def test_scaled_instance():
+    import random
+
+    problem = digest_problem()
+    from repro.model.instance import Instance
+
+    rng = random.Random(11)
+    source = Instance(problem.source_schema)
+    for v in range(20):
+        source.add("Venue", (f"v{v}", f"venue{v}", str(2015 + v % 10)))
+    for p in range(100):
+        source.add("Person", (f"p{p}", f"name{p}", f"m{p}@x"))
+    for d in range(500):
+        source.add("Paper", (f"d{d}", f"title{d}", f"v{rng.randrange(20)}"))
+        if rng.random() < 0.1:
+            source.add("Award", (f"d{d}", "prize"))
+        for a in range(rng.randrange(3)):
+            source.add("Authorship", (f"d{d}", f"p{rng.randrange(100)}", str(a)))
+    output = MappingSystem(problem).transform(source)
+    assert len(output.relation("Pub")) == 500
+    assert validate_instance(output).ok

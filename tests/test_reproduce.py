@@ -1,0 +1,40 @@
+"""Tests for the one-command paper reproduction."""
+
+from repro.reproduce import render_reproduction_table, reproduce_all
+
+
+def test_no_experiment_fails():
+    results = reproduce_all()
+    failed = [r for r in results if r.verdict == "FAIL"]
+    assert not failed, failed
+
+
+def test_experiment_coverage():
+    results = reproduce_all()
+    names = {r.experiment for r in results}
+    # Every main-body figure and all ten appendix-A examples are covered.
+    for figure in ("Figure 2", "Figure 3", "Figure 6", "Figure 8",
+                   "Figure 13 / Ex C.2", "Figure 15 / Ex C.3"):
+        assert figure in names
+    assert sum(1 for n in names if n.startswith("Example A.")) == 10
+
+
+def test_exact_majority():
+    results = reproduce_all()
+    exact = sum(1 for r in results if r.verdict == "exact")
+    assert exact >= len(results) * 0.7  # most rows reproduce verbatim
+
+
+def test_table_rendering():
+    results = reproduce_all()
+    table = render_reproduction_table(results)
+    assert "0 failed" in table
+    assert "[exact]" in table and "[shape]" in table
+
+
+def test_cli_command(capsys):
+    from repro.cli import main
+
+    assert main(["reproduce"]) == 0
+    out = capsys.readouterr().out
+    assert "experiments:" in out and "0 failed" in out

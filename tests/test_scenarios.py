@@ -1,0 +1,100 @@
+"""Sanity tests for the scenario library (schemas, instances, generators)."""
+
+import pytest
+
+from repro.model.validation import validate_instance
+from repro.scenarios import all_problems, appendix_a, appendix_b, cars, synthetic
+
+
+class TestCarsScenarios:
+    def test_all_problems_validate(self):
+        for name, problem in all_problems().items():
+            problem.validate()
+            assert problem.correspondences, name
+
+    def test_source_instances_satisfy_constraints(self):
+        for instance in (
+            cars.cars3_source_instance(),
+            cars.figure8_source_instance(),
+            cars.figure13_source_instance(),
+            cars.figure15_source_instance(),
+        ):
+            assert validate_instance(instance).ok
+
+    def test_expected_targets_satisfy_constraints(self):
+        for instance in (
+            cars.figure3_expected_target(),
+            cars.figure6_expected_target(),
+            cars.figure8_expected_target(),
+            cars.figure13_expected_target(),
+            cars.figure15_expected_target(),
+        ):
+            assert validate_instance(instance).ok
+
+    def test_fresh_objects_each_call(self):
+        assert cars.figure1_problem() is not cars.figure1_problem()
+        a, b = cars.cars3_source_instance(), cars.cars3_source_instance()
+        assert a == b and a is not b
+
+
+class TestAppendixScenarios:
+    @pytest.mark.parametrize("name", sorted(appendix_a.ALL_EXAMPLES))
+    def test_appendix_a_problems_validate(self, name):
+        appendix_a.ALL_EXAMPLES[name]().validate()
+
+    @pytest.mark.parametrize("name", sorted(appendix_b.ALL_SCENARIOS))
+    def test_appendix_b_scenarios_consistent(self, name):
+        scenario = appendix_b.ALL_SCENARIOS[name]()
+        assert validate_instance(scenario.source_instance).ok
+        [mapping] = scenario.schema_mapping.mappings
+        assert mapping.premise.atoms
+        assert mapping.consequent
+
+
+class TestSyntheticGenerators:
+    def test_cars3_instance_valid_and_deterministic(self):
+        a = synthetic.cars3_instance(10, 20, ownership=0.5, seed=7)
+        b = synthetic.cars3_instance(10, 20, ownership=0.5, seed=7)
+        assert a == b
+        assert validate_instance(a).ok
+        assert len(a.relation("P3")) == 10
+        assert len(a.relation("C3")) == 20
+        assert len(a.relation("O3")) <= 20
+
+    def test_cars2_instance_null_fraction(self):
+        instance = synthetic.cars2_instance(5, 40, null_fraction=1.0, seed=1)
+        from repro.model.values import NULL
+
+        assert all(row[2] is NULL for row in instance.relation("C2"))
+        assert validate_instance(instance).ok
+
+    def test_cars4_instance_valid(self):
+        instance = synthetic.cars4_instance(8, 15, seed=3)
+        assert validate_instance(instance).ok
+
+    def test_chain_schema_and_instance(self):
+        schema = synthetic.chain_schema(3)
+        schema.validate()
+        instance = synthetic.chain_instance(schema, rows_per_relation=5, seed=0)
+        assert validate_instance(instance).ok
+        assert instance.total_size() == 20
+
+    def test_chain_problem_runs(self):
+        from repro.core.pipeline import MappingSystem
+
+        problem = synthetic.chain_problem(2)
+        system = MappingSystem(problem)
+        schema = problem.source_schema
+        instance = synthetic.chain_instance(schema, rows_per_relation=4, seed=0)
+        output = system.transform(instance)
+        assert validate_instance(output).ok
+        assert output.total_size() > 0
+
+    def test_wide_problem_shape(self):
+        problem = synthetic.wide_problem(3)
+        assert len(problem.correspondences) == 4
+        assert problem.target_schema.relation("T").is_nullable("a0")
+
+    def test_zero_sizes(self):
+        instance = synthetic.cars3_instance(0, 0)
+        assert instance.total_size() == 0
