@@ -1,0 +1,64 @@
+"""Whole-pipeline benchmarks with telemetry: writes ``BENCH_pipeline.json``.
+
+Each benchmark times an end-to-end traced pipeline run on one of the paper's
+mapping problems and collects the resulting merged
+:class:`repro.obs.RunReport`.  After the module finishes, every collected
+report is serialized to ``BENCH_pipeline.json`` at the repository root, so a
+CI job (or a curious reader) can diff counter totals — chase steps, prune
+rule hits, conflicts, evaluated tuples — across revisions.  Run with::
+
+    pytest benchmarks/test_bench_pipeline.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import MappingSystem
+from repro.scenarios import cars
+from repro.scenarios.appendix_c import example_6_7_problem
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_pipeline.json"
+
+#: scenario name -> (problem factory, source instance factory or None)
+SCENARIOS = {
+    "figure1": (cars.figure1_problem, cars.cars3_source_instance),
+    "figure9": (cars.figure9_problem, None),
+    "figure12": (cars.figure12_problem, cars.figure13_source_instance),
+    "figure14": (cars.figure14_problem, cars.figure15_source_instance),
+    "example6.7": (example_6_7_problem, None),
+}
+
+_reports: dict[str, dict] = {}
+
+
+def _traced_run(problem_factory, source_factory):
+    system = MappingSystem(problem_factory(), trace=True)
+    if source_factory is not None:
+        system.transform(source_factory())
+    else:
+        system.transformation  # force both generation stages
+    return system.stats()
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_pipeline_with_telemetry(benchmark, name):
+    problem_factory, source_factory = SCENARIOS[name]
+    report = benchmark(_traced_run, problem_factory, source_factory)
+    assert report.counters["chase.steps"] > 0
+    assert report.counters["qgen.rules"] > 0
+    benchmark.extra_info["counters"] = dict(report.counters)
+    _reports[name] = report.to_dict()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_report():
+    """Serialize every collected report once the module's benchmarks ran."""
+    yield
+    if _reports:
+        payload = {name: _reports[name] for name in sorted(_reports)}
+        OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -75,6 +75,13 @@ def main() -> None:
     print("\nquality comparison (Figure 2 vs Figure 3):")
     print(comparison_table({"basic": basic, "novel": novel}))
 
+    # With trace=True the system records every stage; stats() merges the
+    # per-stage run reports (see docs/OBSERVABILITY.md).
+    traced = MappingSystem(problem, trace=True)
+    traced.transform(source)
+    print("\ntelemetry (novel algorithm):")
+    print(traced.stats().render_profile())
+
 
 if __name__ == "__main__":
     main()

@@ -52,6 +52,7 @@ from .errors import (
     WeakAcyclicityError,
 )
 from .exchange import analyze_transformation, certain_answers
+from .obs import RunReport, Tracer, use_tracer
 from .model import (
     NULL,
     diff_instances,
@@ -88,6 +89,9 @@ __all__ = [
     "RelationSchema",
     "ReproError",
     "Rule",
+    "RunReport",
+    "Tracer",
+    "use_tracer",
     "SOURCE_AND_RHS_VARS",
     "SOURCE_HERE_AND_REF_VARS",
     "Schema",

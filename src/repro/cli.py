@@ -19,6 +19,11 @@ Usage (after installation, via ``python -m repro``):
 * ``python -m repro reproduce`` — re-run every figure/example of the paper
   and print the paper-vs-measured verdict table.
 
+``compile``, ``run``, ``explain`` and ``query`` all accept the telemetry
+flags ``--trace`` (stage-by-stage run report), ``--profile`` (per-stage
+timings), ``--trace-out PATH`` (JSON run report) and ``--trace-chrome PATH``
+(Chrome trace-event file); see ``docs/OBSERVABILITY.md``.
+
 Problem files use the text DSL of :mod:`repro.dsl.parser`, or JSON
 (``.json``) as produced by :mod:`repro.dsl.jsonio`.
 """
@@ -26,6 +31,7 @@ Problem files use the text DSL of :mod:`repro.dsl.parser`, or JSON
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .core.matching import suggest_correspondences
@@ -37,6 +43,7 @@ from .dsl.renderer import render_program, render_schema, render_schema_mapping
 from .dsl.report import explain
 from .errors import ReproError
 from .model.validation import validate_instance
+from .obs.export import write_chrome_trace
 from .sqlgen.executor import SqliteExecutor
 from .sqlgen.queries import program_to_sql
 
@@ -48,9 +55,44 @@ def _load_problem(path: str) -> MappingProblem:
         return parse_problem(handle.read(), name=path)
 
 
-def _system(args) -> MappingSystem:
+def _wants_trace(args) -> bool:
+    return bool(
+        getattr(args, "trace", False)
+        or getattr(args, "profile", False)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "trace_chrome", None)
+    )
+
+
+def _system(args, force_trace: bool = False) -> MappingSystem:
     problem = _load_problem(args.problem)
-    return MappingSystem(problem, algorithm=args.algorithm, optimize=not args.no_optimize)
+    return MappingSystem(
+        problem,
+        algorithm=args.algorithm,
+        optimize=not args.no_optimize,
+        trace=force_trace or _wants_trace(args),
+    )
+
+
+def _emit_telemetry(system: MappingSystem, args) -> None:
+    """Print/write the merged RunReport, as requested by the trace flags."""
+    if system.tracer is None or not _wants_trace(args):
+        return
+    report = system.stats()
+    if getattr(args, "trace", False):
+        print()
+        print("# run report")
+        print(report.render())
+    if getattr(args, "profile", False):
+        print()
+        print("# profile")
+        print(report.render_profile())
+    if getattr(args, "trace_out", None):
+        with open(args.trace_out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+    if getattr(args, "trace_chrome", None):
+        write_chrome_trace(report, args.trace_chrome)
 
 
 def cmd_compile(args) -> int:
@@ -65,6 +107,7 @@ def cmd_compile(args) -> int:
     else:
         print("# transformation (non-recursive Datalog)")
         print(render_program(system.transformation, shorten=not args.long_names))
+    _emit_telemetry(system, args)
     return 0
 
 
@@ -81,11 +124,12 @@ def cmd_run(args) -> int:
     if args.validate:
         print()
         print("validation:", validate_instance(target).summary())
+    _emit_telemetry(system, args)
     return 0
 
 
 def cmd_explain(args) -> int:
-    print(explain(_system(args)))
+    print(explain(_system(args, force_trace=True)))
     return 0
 
 
@@ -106,6 +150,7 @@ def cmd_query(args) -> int:
     for row in sorted(answers, key=repr):
         print("(" + ", ".join(format_value(v) for v in row) + ")")
     print(f"-- {len(answers)} answer(s)" + (" (certain)" if args.certain else ""))
+    _emit_telemetry(system, args)
     return 0
 
 
@@ -154,6 +199,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--no-optimize", action="store_true",
                        help="keep subsumed Datalog rules")
+        p.add_argument("--trace", action="store_true",
+                       help="print the stage-by-stage run report (spans + counters)")
+        p.add_argument("--profile", action="store_true",
+                       help="print per-stage timings and counter totals")
+        p.add_argument("--trace-out", metavar="PATH",
+                       help="write the run report as JSON to PATH")
+        p.add_argument("--trace-chrome", metavar="PATH",
+                       help="write a Chrome trace-event file (chrome://tracing)")
 
     compile_parser = sub.add_parser("compile", help="generate mapping + queries")
     common(compile_parser)

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from ..logic.tableau import PartialTableau
 from ..logic.terms import Constant, Term, Variable
+from ..obs import count, span
 from .correspondences import Correspondence, Filter
 from .coverage import CoveredCorrespondence, analyse_correspondence
 
@@ -162,6 +163,25 @@ def generate_candidates(
     degrees cannot arise (standard-chase tableaux have no null conditions) and
     the unbound-non-null rule is skipped.
     """
+    with span(
+        "mapping.candidates",
+        source_tableaux=len(source_tableaux),
+        target_tableaux=len(target_tableaux),
+    ) as trace:
+        result = _generate_candidates(
+            source_tableaux, target_tableaux, correspondences, apply_nullable_pruning
+        )
+        count("candidates.skeletons", result.skeleton_count)
+        trace.set(skeletons=result.skeleton_count, candidates=len(result.candidates))
+        return result
+
+
+def _generate_candidates(
+    source_tableaux: list[PartialTableau],
+    target_tableaux: list[PartialTableau],
+    correspondences: list[Correspondence],
+    apply_nullable_pruning: bool,
+) -> CandidateGeneration:
     result = CandidateGeneration()
     for source_tableau in source_tableaux:
         for target_tableau in target_tableaux:
@@ -174,6 +194,7 @@ def generate_candidates(
             if apply_nullable_pruning:
                 poisoned = [a for a in analyses if a.has_poison]
                 if poisoned:
+                    count("prune.poison")
                     result.pruned.append(
                         PruneRecord(
                             skeleton_name,
@@ -201,9 +222,11 @@ def generate_candidates(
                     target_tableau=target_tableau,
                     selection=tuple(combo),
                 )
+                count("candidates.generated")
                 if apply_nullable_pruning:
                     offending = _unbound_nonnull_violation(candidate)
                     if offending is not None:
+                        count("prune.unbound-nonnull")
                         result.pruned.append(
                             PruneRecord(
                                 candidate.name,

@@ -31,6 +31,7 @@ from ..logic.tableau import NONNULL, NULL, PartialTableau, Path
 from ..logic.terms import Variable, VariableFactory
 from ..model.graph import check_weak_acyclicity
 from ..model.schema import Schema
+from ..obs import count, span
 
 #: Chase modes.
 STANDARD = "standard"
@@ -108,6 +109,14 @@ def chase_relation(
     null / non-null splits, with the null branch explored first (matching the
     paper's listing order, e.g. Example 5.1).
     """
+    with span("chase.relation", relation=relation, mode=mode) as trace:
+        tableaux = _chase_relation(schema, relation, mode)
+        count("chase.tableaux", len(tableaux))
+        trace.set(tableaux=len(tableaux))
+        return tableaux
+
+
+def _chase_relation(schema: Schema, relation: str, mode: str) -> list[PartialTableau]:
     factory = VariableFactory()
     start = _ChaseState()
     _new_atom(schema, start, relation, (), None, factory, key_term=None)
@@ -119,6 +128,7 @@ def chase_relation(
         progressed = False
         while state.pending:
             atom_index, attribute = state.pending.pop(0)
+            count("chase.steps")
             atom = state.atoms[atom_index]
             rel = schema.relation(atom.relation)
             path = state.paths[atom_index]
@@ -139,6 +149,7 @@ def chase_relation(
                 # Explore null-first: the stack is LIFO, so push non-null first.
                 stack.append(nonnull_branch)
                 stack.append(null_branch)
+                count("chase.null_splits")
                 progressed = True
                 break
 
@@ -151,6 +162,7 @@ def chase_relation(
             if _has_atom_with_key(schema, state, fk.referenced, term):
                 continue
             assert isinstance(term, Variable)
+            count("chase.fk_traversals")
             _new_atom(
                 schema,
                 state,
@@ -196,8 +208,10 @@ def logical_relations(schema: Schema, mode: str = MODIFIED) -> list[PartialTable
 
     Relations are chased in declaration order after checking weak acyclicity.
     """
-    check_weak_acyclicity(schema)
-    tableaux: list[PartialTableau] = []
-    for relation in schema.relation_names():
-        tableaux.extend(chase_relation(schema, relation, mode=mode))
-    return tableaux
+    with span("chase.schema", schema=schema.name, mode=mode) as trace:
+        check_weak_acyclicity(schema)
+        tableaux: list[PartialTableau] = []
+        for relation in schema.relation_names():
+            tableaux.extend(chase_relation(schema, relation, mode=mode))
+        trace.set(tableaux=len(tableaux))
+        return tableaux

@@ -22,6 +22,7 @@ from ..logic.mappings import UnitaryMapping
 from ..logic.satisfiability import check_equal_and_differ
 from ..logic.terms import Constant, NullTerm, SkolemTerm, Term, Variable
 from ..model.schema import Schema
+from ..obs import count
 from .functionality import rename_unitary
 
 COPY = "c"
@@ -122,15 +123,15 @@ def find_key_conflicts(
             nonnull_terms,
             disequalities=disequalities,
         ):
-            conflicts.append(
-                KeyConflict(
-                    left=left,
-                    right=right,
-                    attribute=relation.attributes[position].name,
-                    left_kind=term_kind(left_term),
-                    right_kind=term_kind(right_term),
-                )
+            conflict = KeyConflict(
+                left=left,
+                right=right,
+                attribute=relation.attributes[position].name,
+                left_kind=term_kind(left_term),
+                right_kind=term_kind(right_term),
             )
+            count("conflicts.hard" if conflict.is_hard else "conflicts.soft")
+            conflicts.append(conflict)
     return conflicts
 
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from ..logic.tableau import MAND, NONE, NONNULL, NULL, PartialTableau
 from ..logic.terms import Term
+from ..obs import count
 from .correspondences import Correspondence, ReferencedAttribute
 
 _VALUE_LEVELS = frozenset({MAND, NONNULL})
@@ -75,7 +76,10 @@ def coverage_mappings(
         if not ok:
             continue
         last_level = tableau.attribute_level(indices[-1], reference.attribute)
+        count(f"coverage.level.{last_level}")
         results.append(CoverageMapping(reference, tuple(indices), last_level))
+    if not results:
+        count(f"coverage.level.{NONE}")
     return results
 
 
@@ -141,4 +145,7 @@ def analyse_correspondence(
     # the covered pair is selected and the skeleton survives.
     if covered:
         poison = False
+        count("coverage.covered_pairs", len(covered))
+    elif poison:
+        count("coverage.poison_degrees")
     return SkeletonCoverage(correspondence, covered, poison)

@@ -19,6 +19,7 @@ from ..logic.mappings import Premise, UnitaryMapping
 from ..logic.satisfiability import check_equal_and_differ
 from ..logic.terms import Term, Variable
 from ..model.schema import Schema
+from ..obs import count, span
 
 
 def rename_premise(premise: Premise) -> tuple[Premise, dict[Variable, Term]]:
@@ -65,6 +66,7 @@ def check_functionality(
     target_schema: Schema,
 ) -> FunctionalityViolation | None:
     """Return a violation witness, or ``None`` when the mapping is functional."""
+    count("functionality.checks")
     copy = rename_unitary(mapping)
     relation = target_schema.relation(mapping.consequent.relation)
     key_positions = relation.key_positions()
@@ -106,7 +108,8 @@ def assert_all_functional(
     target_schema: Schema,
 ) -> None:
     """Raise :class:`NonFunctionalMappingError` on the first violation found."""
-    for mapping in mappings:
-        violation = check_functionality(mapping, source_schema, target_schema)
-        if violation is not None:
-            raise NonFunctionalMappingError(str(violation))
+    with span("qgen.functionality", mappings=len(mappings)):
+        for mapping in mappings:
+            violation = check_functionality(mapping, source_schema, target_schema)
+            if violation is not None:
+                raise NonFunctionalMappingError(str(violation))

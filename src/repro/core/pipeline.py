@@ -11,14 +11,16 @@ algorithms (3 and 4); everything is computed lazily and cached.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..datalog.engine import EvaluationResult, evaluate
 from ..datalog.program import DatalogProgram
 from ..logic.mappings import SchemaMapping
 from ..model.instance import Instance
-from ..errors import SchemaError
+from ..errors import ReproError, SchemaError
 from ..model.schema import Schema
+from ..obs import RunReport, Tracer, use_tracer
 from .correspondences import Correspondence, correspondence
 from .query_generation import QueryGenerationResult, generate_queries
 from .schema_mapping import NOVEL, SchemaMappingResult, generate_schema_mapping
@@ -61,7 +63,20 @@ class MappingProblem:
 
 
 class MappingSystem:
-    """Runs the full pipeline for one mapping problem and one algorithm."""
+    """Runs the full pipeline for one mapping problem and one algorithm.
+
+    With ``trace=True`` a :class:`repro.obs.Tracer` records every stage run
+    through this system: the stage results carry a
+    :class:`~repro.obs.RunReport` each and :meth:`stats` returns the merged
+    report (see ``docs/OBSERVABILITY.md``).  Tracing is off by default and
+    the disabled instrumentation is a no-op.
+
+    Cached stage results are fingerprinted against the problem's
+    correspondences: mutating the problem (e.g. via
+    :meth:`MappingProblem.add_correspondence`) after a result was computed
+    invalidates the cache, so the next access recomputes instead of silently
+    returning a mapping for the old problem.
+    """
 
     def __init__(
         self,
@@ -69,25 +84,49 @@ class MappingSystem:
         algorithm: str = NOVEL,
         skolem_strategy: str | None = None,
         optimize: bool = True,
+        trace: bool = False,
     ):
         problem.validate()
         self.problem = problem
         self.algorithm = algorithm
         self.skolem_strategy = skolem_strategy
         self.optimize = optimize
+        self.tracer: Tracer | None = Tracer() if trace else None
         self._schema_mapping_result: SchemaMappingResult | None = None
         self._query_result: QueryGenerationResult | None = None
+        self._last_evaluation: EvaluationResult | None = None
+        self._fingerprint = self._problem_fingerprint()
+
+    def _traced(self):
+        return use_tracer(self.tracer) if self.tracer is not None else nullcontext()
+
+    # -- cache freshness ----------------------------------------------------
+
+    def _problem_fingerprint(self) -> tuple:
+        items = self.problem.correspondences
+        return (len(items), tuple(id(item) for item in items))
+
+    def _check_fresh(self) -> None:
+        """Drop cached stage results if the problem was mutated since."""
+        fingerprint = self._problem_fingerprint()
+        if fingerprint != self._fingerprint:
+            self._fingerprint = fingerprint
+            self._schema_mapping_result = None
+            self._query_result = None
+            self._last_evaluation = None
 
     # -- stage 1: schema mapping generation --------------------------------
 
     def schema_mapping_result(self) -> SchemaMappingResult:
+        self._check_fresh()
         if self._schema_mapping_result is None:
-            self._schema_mapping_result = generate_schema_mapping(
-                self.problem.source_schema,
-                self.problem.target_schema,
-                self.problem.correspondences,
-                algorithm=self.algorithm,
-            )
+            with self._traced():
+                self._schema_mapping_result = generate_schema_mapping(
+                    self.problem.source_schema,
+                    self.problem.target_schema,
+                    self.problem.correspondences,
+                    algorithm=self.algorithm,
+                )
         return self._schema_mapping_result
 
     @property
@@ -97,13 +136,16 @@ class MappingSystem:
     # -- stage 2: query generation -----------------------------------------
 
     def query_result(self) -> QueryGenerationResult:
+        self._check_fresh()
         if self._query_result is None:
-            self._query_result = generate_queries(
-                self.schema_mapping,
-                algorithm=self.algorithm,
-                skolem_strategy=self.skolem_strategy,
-                optimize=self.optimize,
-            )
+            mapping = self.schema_mapping
+            with self._traced():
+                self._query_result = generate_queries(
+                    mapping,
+                    algorithm=self.algorithm,
+                    skolem_strategy=self.skolem_strategy,
+                    optimize=self.optimize,
+                )
         return self._query_result
 
     @property
@@ -118,4 +160,30 @@ class MappingSystem:
 
     def transform_detailed(self, source: Instance) -> EvaluationResult:
         """Like :meth:`transform` but also returns the intermediate relations."""
-        return evaluate(self.transformation, source)
+        program = self.transformation
+        with self._traced():
+            result = evaluate(program, source)
+        self._last_evaluation = result
+        return result
+
+    # -- telemetry -----------------------------------------------------------
+
+    def stats(self) -> RunReport:
+        """The merged :class:`~repro.obs.RunReport` of both pipeline stages.
+
+        Forces both stages, then merges their reports (plus the report of the
+        most recent :meth:`transform` evaluation, if any).  Requires the
+        system to have been created with ``trace=True``.
+        """
+        if self.tracer is None:
+            raise ReproError(
+                "telemetry is off: create the MappingSystem with trace=True "
+                "to collect run reports"
+            )
+        stage1 = self.schema_mapping_result().run_report
+        stage2 = self.query_result().run_report
+        evaluation = (
+            self._last_evaluation.run_report if self._last_evaluation else None
+        )
+        assert stage1 is not None and stage2 is not None
+        return stage1.merged(stage2, evaluation)

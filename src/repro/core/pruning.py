@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from ..logic.homomorphism import find_homomorphism
 from ..logic.tableau import PartialTableau
 from ..logic.terms import Term, Variable
+from ..obs import count, span
 from .candidates import CandidateMapping, PruneRecord
 
 
@@ -151,6 +152,17 @@ def prune_candidates(
     use_nonnull_extension: bool = True,
 ) -> PruningResult:
     """Apply subsumption, implication and non-null-extension pruning in order."""
+    with span("mapping.pruning", candidates=len(candidates)) as trace:
+        result = _prune_candidates(candidates, use_nonnull_extension)
+        count("candidates.kept", len(result.kept))
+        trace.set(kept=len(result.kept), pruned=len(result.pruned))
+        return result
+
+
+def _prune_candidates(
+    candidates: list[CandidateMapping],
+    use_nonnull_extension: bool,
+) -> PruningResult:
     result = PruningResult()
 
     # -- subsumption ------------------------------------------------------
@@ -165,6 +177,7 @@ def prune_candidates(
             None,
         )
         if subsumer is not None:
+            count("prune.subsumption")
             result.pruned.append(
                 PruneRecord(
                     candidate.name,
@@ -188,6 +201,7 @@ def prune_candidates(
             if implies(candidate, other) and i < j:
                 continue  # structurally equal candidates: keep the earlier one
             implied_away.add(i)
+            count("prune.implication")
             result.pruned.append(
                 PruneRecord(
                     candidate.name,
@@ -216,6 +230,7 @@ def prune_candidates(
             covered_prime = m_prime.covered_set()
             if covered_m == covered_prime:
                 pruned_extension.add(j)
+                count("prune.nonnull-extension")
                 result.pruned.append(
                     PruneRecord(
                         m_prime.name,
@@ -227,6 +242,7 @@ def prune_candidates(
                 )
             elif covered_m < covered_prime:
                 pruned_extension.add(i)
+                count("prune.nonnull-extension")
                 result.pruned.append(
                     PruneRecord(
                         m.name,

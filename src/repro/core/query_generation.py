@@ -19,6 +19,7 @@ from ..logic.atoms import NegatedPremise, RelationalAtom
 from ..logic.mappings import LogicalMapping, SchemaMapping, UnitaryMapping
 from ..logic.terms import Variable
 from ..model.schema import Schema
+from ..obs import RunReport, count, span, stage_report
 from ..datalog.optimize import remove_subsumed_rules
 from ..datalog.program import DatalogProgram, Rule
 from .functionality import assert_all_functional
@@ -74,6 +75,8 @@ class QueryGenerationResult:
     unitary: list[UnitaryMapping] = field(default_factory=list)
     final: list[UnitaryMapping] = field(default_factory=list)
     resolution: ResolutionReport | None = None
+    #: stage telemetry, populated when an obs tracer is active (see repro.obs)
+    run_report: RunReport | None = None
 
 
 def build_program(
@@ -154,33 +157,46 @@ def generate_queries(
         skolem_strategy = (
             ALL_SOURCE_OR_KEY_VARS if algorithm == NOVEL else SOURCE_AND_RHS_VARS
         )
-    skolemized = skolemize_schema_mapping(
-        list(schema_mapping),
-        target_schema,
-        strategy=skolem_strategy,
-        use_null_for_nullable=(algorithm == NOVEL),
-    )
-    unitary = rewrite_to_unitary(skolemized)
-
-    resolution: ResolutionReport | None = None
-    if algorithm == NOVEL:
-        assert_all_functional(unitary, source_schema, target_schema)
-        final, resolution = resolve_key_conflicts(
-            unitary,
-            source_schema,
+    with span(
+        "stage.query_generation",
+        algorithm=algorithm,
+        mappings=len(schema_mapping),
+    ) as trace:
+        skolemized = skolemize_schema_mapping(
+            list(schema_mapping),
             target_schema,
-            propagate_unification=propagate_unification,
+            strategy=skolem_strategy,
+            use_null_for_nullable=(algorithm == NOVEL),
         )
-    else:
-        final = unitary
+        unitary = rewrite_to_unitary(skolemized)
+        count("qgen.unitary_mappings", len(unitary))
 
-    program = build_program(final, source_schema, target_schema)
-    if optimize:
-        program = remove_subsumed_rules(program)
+        resolution: ResolutionReport | None = None
+        if algorithm == NOVEL:
+            assert_all_functional(unitary, source_schema, target_schema)
+            final, resolution = resolve_key_conflicts(
+                unitary,
+                source_schema,
+                target_schema,
+                propagate_unification=propagate_unification,
+            )
+        else:
+            final = unitary
+
+        with span("qgen.build_program", mappings=len(final)):
+            program = build_program(final, source_schema, target_schema)
+        if optimize:
+            before = len(program.rules)
+            with span("qgen.optimize"):
+                program = remove_subsumed_rules(program)
+            count("qgen.rules_optimized_away", before - len(program.rules))
+        count("qgen.rules", len(program.rules))
+        trace.set(rules=len(program.rules))
     return QueryGenerationResult(
         program=program,
         skolemized=skolemized,
         unitary=unitary,
         final=final,
         resolution=resolution,
+        run_report=stage_report(trace, "query-generation"),
     )

@@ -29,6 +29,7 @@ from ..logic.atoms import NegatedPremise, RelationalAtom
 from ..logic.mappings import Premise, UnitaryMapping
 from ..logic.terms import NULL_TERM, SkolemTerm, Term, Variable
 from ..model.schema import Schema
+from ..obs import count, span
 from .conflicts import (
     COPY,
     INVENT,
@@ -180,6 +181,23 @@ def resolve_key_conflicts(
     the fused mappings (``propagate_unification=False``).  The two differ
     only by a renaming of invented values.
     """
+    with span("qgen.resolution", mappings=len(mappings)) as trace:
+        final, report = _resolve_key_conflicts(
+            mappings, source_schema, target_schema, propagate_unification
+        )
+        count("resolution.disabled-negations", sum(report.negations_by_origin.values()))
+        count("resolution.fused", len(report.fused))
+        count("resolution.unified-functors", len(report.functor_renaming))
+        trace.set(conflicts=len(report.conflicts), fused=len(report.fused))
+        return final, report
+
+
+def _resolve_key_conflicts(
+    mappings: list[UnitaryMapping],
+    source_schema: Schema,
+    target_schema: Schema,
+    propagate_unification: bool,
+) -> tuple[list[UnitaryMapping], ResolutionReport]:
     report = ResolutionReport()
     unifier = FunctorUnifier()
     negations: dict[str, list[NegatedPremise]] = {}

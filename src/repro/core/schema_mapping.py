@@ -22,6 +22,7 @@ from ..logic.atoms import Disequality, Equality
 from ..logic.mappings import LogicalMapping, Premise, SchemaMapping
 from ..logic.tableau import PartialTableau
 from ..model.schema import Schema
+from ..obs import RunReport, count, span, stage_report
 from .candidates import (
     CandidateGeneration,
     CandidateMapping,
@@ -57,6 +58,8 @@ class SchemaMappingResult:
 
     schema_mapping: SchemaMapping
     report: SchemaMappingReport
+    #: stage telemetry, populated when an obs tracer is active (see repro.obs)
+    run_report: RunReport | None = None
 
 
 def candidate_to_logical_mapping(
@@ -117,29 +120,44 @@ def generate_schema_mapping(
     for correspondence in correspondences:
         correspondence.validate(source_schema, target_schema)
 
-    chase_mode = MODIFIED if algorithm == NOVEL else STANDARD
-    report = SchemaMappingReport()
-    report.source_tableaux = logical_relations(source_schema, mode=chase_mode)
-    report.target_tableaux = logical_relations(target_schema, mode=chase_mode)
+    with span(
+        "stage.schema_mapping",
+        algorithm=algorithm,
+        correspondences=len(correspondences),
+    ) as trace:
+        chase_mode = MODIFIED if algorithm == NOVEL else STANDARD
+        report = SchemaMappingReport()
+        with span("chase.source"):
+            report.source_tableaux = logical_relations(source_schema, mode=chase_mode)
+        with span("chase.target"):
+            report.target_tableaux = logical_relations(target_schema, mode=chase_mode)
 
-    generation: CandidateGeneration = generate_candidates(
-        report.source_tableaux,
-        report.target_tableaux,
-        correspondences,
-        apply_nullable_pruning=(algorithm == NOVEL),
+        generation: CandidateGeneration = generate_candidates(
+            report.source_tableaux,
+            report.target_tableaux,
+            correspondences,
+            apply_nullable_pruning=(algorithm == NOVEL),
+        )
+        report.skeleton_count = generation.skeleton_count
+        report.candidates = generation.candidates
+        report.pruned.extend(generation.pruned)
+
+        pruning = prune_candidates(
+            generation.candidates,
+            use_nonnull_extension=(algorithm == NOVEL),
+        )
+        report.pruned.extend(pruning.pruned)
+        report.kept = pruning.kept
+
+        mapping = SchemaMapping(source_schema, target_schema)
+        for index, candidate in enumerate(pruning.kept, start=1):
+            mapping.mappings.append(
+                candidate_to_logical_mapping(candidate, label=f"m{index}")
+            )
+        count("mapping.tgds", len(mapping.mappings))
+        trace.set(mappings=len(mapping.mappings))
+    return SchemaMappingResult(
+        schema_mapping=mapping,
+        report=report,
+        run_report=stage_report(trace, "schema-mapping"),
     )
-    report.skeleton_count = generation.skeleton_count
-    report.candidates = generation.candidates
-    report.pruned.extend(generation.pruned)
-
-    pruning = prune_candidates(
-        generation.candidates,
-        use_nonnull_extension=(algorithm == NOVEL),
-    )
-    report.pruned.extend(pruning.pruned)
-    report.kept = pruning.kept
-
-    mapping = SchemaMapping(source_schema, target_schema)
-    for index, candidate in enumerate(pruning.kept, start=1):
-        mapping.mappings.append(candidate_to_logical_mapping(candidate, label=f"m{index}"))
-    return SchemaMappingResult(schema_mapping=mapping, report=report)

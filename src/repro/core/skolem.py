@@ -31,6 +31,7 @@ from ..errors import QueryGenerationError
 from ..logic.mappings import LogicalMapping
 from ..logic.terms import NULL_TERM, SkolemTerm, Term, Variable
 from ..model.schema import Schema
+from ..obs import count, span
 
 ALL_SOURCE_VARS = "all-source-vars"
 SOURCE_AND_RHS_VARS = "source-and-rhs-vars"
@@ -212,6 +213,7 @@ def skolemize_mapping(
             if plan is None:
                 resolved[variable] = NULL_TERM
                 del unresolved[variable]
+                count("skolem.nulls")
                 progress = True
                 continue
             functor, arguments = plan
@@ -222,6 +224,7 @@ def skolemize_mapping(
             ):
                 continue  # an argument still mentions an unresolved variable
             final_args = [argument.substitute(resolved) for argument in arguments]
+            count("skolem.functors")
             resolved[variable] = SkolemTerm(functor, final_args)
             del unresolved[variable]
             progress = True
@@ -241,7 +244,8 @@ def skolemize_schema_mapping(
     use_null_for_nullable: bool = True,
 ) -> list[LogicalMapping]:
     """Skolemize every logical mapping of a schema mapping."""
-    return [
-        skolemize_mapping(m, target_schema, strategy, use_null_for_nullable)
-        for m in mappings
-    ]
+    with span("qgen.skolemize", strategy=strategy, mappings=len(mappings)):
+        return [
+            skolemize_mapping(m, target_schema, strategy, use_null_for_nullable)
+            for m in mappings
+        ]

@@ -18,6 +18,7 @@ from ..logic.atoms import RelationalAtom
 from ..logic.terms import Constant, NullTerm, SkolemTerm, Term, Variable
 from ..model.instance import Instance, Row
 from ..model.values import NULL, LabeledNull, is_null
+from ..obs import RunReport, count, span, stage_report
 from .program import DatalogProgram, Rule
 from .stratify import stratify
 
@@ -207,6 +208,8 @@ class EvaluationResult:
     #: per-rule derived row counts (before cross-rule deduplication),
     #: indexed like ``program.rules``
     rule_counts: list[int] = field(default_factory=list)
+    #: stage telemetry, populated when an obs tracer is active (see repro.obs)
+    run_report: RunReport | None = None
 
     def intermediate(self, name: str) -> list[Row]:
         return self.intermediates[name]
@@ -217,33 +220,44 @@ def evaluate(program: DatalogProgram, source: Instance) -> EvaluationResult:
     if program.target_schema is None:
         raise EvaluationError("program has no target schema")
     program.validate()
-    store = _Store()
-    for name, relation in source.relations.items():
-        store.add_relation(name, list(relation.rows))
+    with span("stage.evaluate", rules=len(program.rules)) as trace:
+        store = _Store()
+        source_rows = 0
+        for name, relation in source.relations.items():
+            store.add_relation(name, list(relation.rows))
+            source_rows += store.size(name)
+        count("eval.source_tuples", source_rows)
 
-    order = stratify(program)
-    computed: dict[str, list[Row]] = {}
-    rule_counts: dict[int, int] = {}
-    rule_index = {id(rule): i for i, rule in enumerate(program.rules)}
-    for relation in order:
-        rows: dict[Row, None] = {}
-        for rule in program.rules_for(relation):
-            derived = evaluate_rule(rule, store)
-            rule_counts[rule_index[id(rule)]] = len(derived)
-            for row in derived:
-                rows.setdefault(row, None)
-        computed[relation] = list(rows)
-        store.add_relation(relation, list(rows))
+        order = stratify(program)
+        computed: dict[str, list[Row]] = {}
+        rule_counts: dict[int, int] = {}
+        rule_index = {id(rule): i for i, rule in enumerate(program.rules)}
+        for stratum, relation in enumerate(order):
+            with span("eval.stratum", stratum=stratum, relation=relation) as stratum_trace:
+                rows: dict[Row, None] = {}
+                for rule in program.rules_for(relation):
+                    derived = evaluate_rule(rule, store)
+                    rule_counts[rule_index[id(rule)]] = len(derived)
+                    count("eval.rules_evaluated")
+                    count("eval.derived_tuples", len(derived))
+                    for row in derived:
+                        rows.setdefault(row, None)
+                count("eval.strata")
+                count("eval.tuples", len(rows))
+                stratum_trace.set(tuples=len(rows))
+                computed[relation] = list(rows)
+                store.add_relation(relation, list(rows))
 
-    target = Instance(program.target_schema)
-    for relation in program.target_schema.relation_names():
-        if relation in computed:
-            target.add_all(relation, computed[relation])
-    intermediates = {
-        name: computed.get(name, []) for name in program.intermediates
-    }
+        target = Instance(program.target_schema)
+        for relation in program.target_schema.relation_names():
+            if relation in computed:
+                target.add_all(relation, computed[relation])
+        intermediates = {
+            name: computed.get(name, []) for name in program.intermediates
+        }
     return EvaluationResult(
         target=target,
         intermediates=intermediates,
         rule_counts=[rule_counts.get(i, 0) for i in range(len(program.rules))],
+        run_report=stage_report(trace, "evaluation"),
     )

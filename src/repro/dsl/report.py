@@ -66,7 +66,12 @@ def render_conflict_report(system: MappingSystem) -> str:
 
 
 def explain(system: MappingSystem) -> str:
-    """A full audit trail for one MappingSystem run."""
+    """A full audit trail for one MappingSystem run.
+
+    When the system was created with ``trace=True`` the trail ends with a
+    telemetry section: the merged run report of both pipeline stages (span
+    tree with timings plus counter totals, see ``docs/OBSERVABILITY.md``).
+    """
     sections = [
         f"=== problem: {system.problem.name} (algorithm: {system.algorithm}) ===",
         "",
@@ -82,4 +87,6 @@ def explain(system: MappingSystem) -> str:
         "--- transformation ---",
         render_program(system.transformation),
     ]
+    if system.tracer is not None:
+        sections.extend(["", "--- telemetry ---", system.stats().render()])
     return "\n".join(sections)

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..model.schema import Schema
+from ..obs import count
 from .atoms import RelationalAtom
 from .terms import NULL_TERM, Constant, NullTerm, SkolemTerm, Term, Variable
 
@@ -230,6 +231,7 @@ def check_equal_and_differ(
     mandatory positions are implicitly non-null); key fds of ``schema`` are
     chased.  Returns :data:`SAT` (True) iff satisfiable.
     """
+    count("satisfiability.checks")
     solver = TermSolver()
     for atom in atoms:
         if atom.relation in schema:

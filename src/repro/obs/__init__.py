@@ -1,0 +1,73 @@
+"""Pipeline observability: tracing spans, counters and run reports.
+
+Zero-dependency, off-by-default instrumentation for the two-stage mapping
+pipeline.  The module-level helpers :func:`span` and :func:`count` dispatch
+to the tracer installed via :func:`use_tracer`; with no tracer installed
+they hit the shared no-op tracer and cost one contextvar read each, so the
+instrumented hot paths are unaffected when observability is off.
+
+Layers:
+
+* :mod:`repro.obs.tracer` — contextvar-based :class:`Tracer` with nested
+  :class:`Span` trees, monotonic timers and named counters;
+* :mod:`repro.obs.report` — :class:`RunReport`, the serializable per-stage
+  summary attached to pipeline results and merged by
+  :meth:`repro.core.pipeline.MappingSystem.stats`;
+* :mod:`repro.obs.export` — JSON-lines and Chrome trace-event exporters;
+* :mod:`repro.obs.schema` — the mini JSON-schema validator used by CI to
+  check emitted reports against ``docs/run_report.schema.json``.
+
+The span taxonomy and counter names are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from .export import (
+    from_jsonl,
+    report_records,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .report import RunReport, span_to_dict
+from .tracer import (
+    NOOP,
+    NoopTracer,
+    Span,
+    Tracer,
+    count,
+    current_tracer,
+    span,
+    use_tracer,
+)
+
+
+def stage_report(root_span, label: str = "") -> RunReport | None:
+    """A :class:`RunReport` for a finished stage span, or None when tracing
+    is off (the stage span is then the shared no-op span)."""
+    if not current_tracer().enabled:
+        return None
+    return RunReport.from_span(root_span, label=label)
+
+
+__all__ = [
+    "NOOP",
+    "NoopTracer",
+    "RunReport",
+    "Span",
+    "Tracer",
+    "count",
+    "current_tracer",
+    "from_jsonl",
+    "report_records",
+    "span",
+    "span_to_dict",
+    "stage_report",
+    "to_chrome_trace",
+    "to_jsonl",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_jsonl",
+]

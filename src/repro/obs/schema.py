@@ -1,0 +1,122 @@
+"""A minimal, dependency-free JSON-schema validator for run reports.
+
+Supports the subset of JSON Schema the checked-in report schema
+(``docs/run_report.schema.json``) uses: ``type``, ``required``,
+``properties``, ``additionalProperties`` (as a schema), ``items``,
+``minimum``, ``enum`` and ``$ref`` into ``$defs``.  Enough to gate the CI
+smoke job without installing anything.
+
+CLI use (exits non-zero on the first violation)::
+
+    python -m repro.obs.schema report.json docs/run_report.schema.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+_TYPES: dict[str, tuple[type, ...]] = {
+    "object": (dict,),
+    "array": (list,),
+    "string": (str,),
+    "number": (int, float),
+    "integer": (int,),
+    "boolean": (bool,),
+    "null": (type(None),),
+}
+
+
+class SchemaViolation(ValueError):
+    """The instance does not conform to the schema."""
+
+
+def _resolve(schema: dict[str, Any], root: dict[str, Any]) -> dict[str, Any]:
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        raise SchemaViolation(f"unsupported $ref {ref!r} (only #/ pointers)")
+    node: Any = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def _check_type(instance: Any, expected: str | list[str], path: str) -> None:
+    names = [expected] if isinstance(expected, str) else list(expected)
+    for name in names:
+        accepted = _TYPES.get(name)
+        if accepted is None:
+            raise SchemaViolation(f"{path}: unknown schema type {name!r}")
+        # bool is an int subclass; don't let booleans pass as numbers.
+        if isinstance(instance, accepted) and not (
+            isinstance(instance, bool) and name in ("number", "integer")
+        ):
+            return
+    raise SchemaViolation(
+        f"{path}: expected {' or '.join(names)}, got {type(instance).__name__}"
+    )
+
+
+def validate(instance: Any, schema: dict[str, Any], root: dict[str, Any] | None = None,
+             path: str = "$") -> None:
+    """Raise :class:`SchemaViolation` if ``instance`` violates ``schema``."""
+    if root is None:
+        root = schema
+    schema = _resolve(schema, root)
+
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaViolation(f"{path}: {instance!r} not in {schema['enum']!r}")
+    if "type" in schema:
+        _check_type(instance, schema["type"], path)
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        minimum = schema.get("minimum")
+        if minimum is not None and instance < minimum:
+            raise SchemaViolation(f"{path}: {instance} < minimum {minimum}")
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                raise SchemaViolation(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties")
+        for name, value in instance.items():
+            if name in properties:
+                validate(value, properties[name], root, f"{path}.{name}")
+            elif isinstance(additional, dict):
+                validate(value, additional, root, f"{path}.{name}")
+            elif additional is False:
+                raise SchemaViolation(f"{path}: unexpected property {name!r}")
+    if isinstance(instance, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, value in enumerate(instance):
+                validate(value, items, root, f"{path}[{index}]")
+
+
+def validate_file(instance_path: str, schema_path: str) -> None:
+    with open(instance_path) as handle:
+        instance = json.load(handle)
+    with open(schema_path) as handle:
+        schema = json.load(handle)
+    validate(instance, schema)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 2:
+        print("usage: python -m repro.obs.schema <report.json> <schema.json>",
+              file=sys.stderr)
+        return 2
+    try:
+        validate_file(args[0], args[1])
+    except (SchemaViolation, OSError, json.JSONDecodeError) as error:
+        print(f"invalid: {error}", file=sys.stderr)
+        return 1
+    print(f"{args[0]} conforms to {args[1]}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,176 @@
+"""A zero-dependency tracer: nested spans, monotonic timers, named counters.
+
+The active tracer lives in a :class:`contextvars.ContextVar`, so tracing is
+re-entrant and safe across generators and (hypothetical) concurrent tasks.
+Instrumentation sites call the module-level helpers :func:`span` and
+:func:`count`; when no tracer has been installed they dispatch to the shared
+:data:`NOOP` tracer, whose methods allocate nothing — a single contextvar
+read plus a method call — so the instrumented pipeline is unaffected when
+observability is off (the default).
+
+Typical use::
+
+    from repro.obs import Tracer, use_tracer, span, count
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with span("chase.relation", relation="C2") as s:
+            count("chase.steps")
+            s.set(tableaux=2)
+    tracer.counters        # {"chase.steps": 1}
+    tracer.spans[0].name   # "chase.relation"
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass
+class Span:
+    """One timed, named region of the pipeline, possibly with children.
+
+    ``start``/``end`` are :func:`time.perf_counter` readings; ``counters``
+    holds the counts incremented while this span was the innermost one.
+    """
+
+    name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+    start: float = 0.0
+    end: float | None = None
+    children: list["Span"] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (to now if the span is still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def set(self, **attributes: Any) -> None:
+        """Attach result attributes after the fact (e.g. output sizes)."""
+        self.attributes.update(attributes)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def total_counters(self) -> dict[str, int]:
+        """Counters aggregated over the whole subtree."""
+        totals: dict[str, int] = {}
+        for node in self.walk():
+            for name, value in node.counters.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+
+class _NoopSpan:
+    """A reusable, stateless stand-in for :class:`Span` when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """The do-nothing tracer installed by default.
+
+    It records no spans and no counters; ``span()`` hands back one shared
+    context manager, so disabled instrumentation performs no allocation.
+    """
+
+    enabled = False
+    spans: tuple[Span, ...] = ()
+    counters: dict[str, int] = {}
+
+    def span(self, name: str, **attributes: Any) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def count(self, name: str, value: int = 1) -> None:
+        pass
+
+
+NOOP = NoopTracer()
+
+#: The tracer instrumentation dispatches to; NOOP unless :func:`use_tracer`
+#: (or :func:`set_tracer`) installed a recording one.
+_ACTIVE_TRACER: ContextVar["Tracer | NoopTracer"] = ContextVar(
+    "repro_obs_tracer", default=NOOP
+)
+#: The innermost open span of the active tracer (for nesting and counters).
+_CURRENT_SPAN: ContextVar[Span | None] = ContextVar("repro_obs_span", default=None)
+
+
+class Tracer:
+    """A recording tracer: a forest of spans plus global counter totals."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self.spans: list[Span] = []
+        self.counters: dict[str, int] = {}
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a nested span; it closes (and is timed) on exit."""
+        node = Span(name=name, attributes=attributes, start=self._clock())
+        parent = _CURRENT_SPAN.get()
+        if parent is None:
+            self.spans.append(node)
+        else:
+            parent.children.append(node)
+        token = _CURRENT_SPAN.set(node)
+        try:
+            yield node
+        finally:
+            node.end = self._clock()
+            _CURRENT_SPAN.reset(token)
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Increment a named counter (global, and on the innermost span)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+        current = _CURRENT_SPAN.get()
+        if current is not None:
+            current.counters[name] = current.counters.get(name, 0) + value
+
+
+def current_tracer() -> Tracer | NoopTracer:
+    """The tracer instrumentation is currently dispatching to."""
+    return _ACTIVE_TRACER.get()
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the active tracer (a no-op when tracing is off)."""
+    return _ACTIVE_TRACER.get().span(name, **attributes)
+
+
+def count(name: str, value: int = 1) -> None:
+    """Increment a counter on the active tracer (a no-op when tracing is off)."""
+    _ACTIVE_TRACER.get().count(name, value)
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NoopTracer) -> Iterator[Tracer | NoopTracer]:
+    """Install ``tracer`` as the active one for the duration of the block."""
+    token = _ACTIVE_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_TRACER.reset(token)

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -166,3 +167,57 @@ class TestJsonProblems:
         path.write_text(json.dumps(problem_to_dict(problem)))
         assert main(["compile", str(path)]) == 0
         assert "OCtmp" in capsys.readouterr().out
+
+
+class TestTelemetry:
+    def test_compile_trace_prints_run_report(self, problem_file, capsys):
+        assert main(["compile", problem_file, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "# run report" in out
+        assert "stage.schema_mapping" in out
+        assert "stage.query_generation" in out
+        assert "chase.steps" in out
+        assert "prune.subsumption" in out
+
+    def test_run_profile_prints_timings(self, problem_file, instance_file, capsys):
+        assert main(["run", problem_file, instance_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "# profile" in out
+        assert "stage.evaluate" in out
+        assert "eval.tuples" in out
+        assert "ms total" in out
+
+    def test_trace_out_writes_schema_valid_json(self, problem_file, tmp_path,
+                                                capsys):
+        from repro.obs.schema import main as validate_main
+
+        report_path = tmp_path / "report.json"
+        schema_path = (pathlib.Path(__file__).resolve().parent.parent
+                       / "docs" / "run_report.schema.json")
+        assert main(["compile", problem_file, "--trace-out",
+                     str(report_path)]) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["counters"]["chase.steps"] > 0
+        assert validate_main([str(report_path), str(schema_path)]) == 0
+        assert "conforms" in capsys.readouterr().out
+
+    def test_trace_chrome_writes_trace_events(self, problem_file, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        assert main(["compile", problem_file, "--trace-chrome",
+                     str(trace_path)]) == 0
+        trace = json.loads(trace_path.read_text())
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert "stage.schema_mapping" in names
+        assert "chase.steps" in names  # counter events ride along
+
+    def test_explain_includes_telemetry_section(self, problem_file, capsys):
+        assert main(["explain", problem_file]) == 0
+        out = capsys.readouterr().out
+        assert "--- telemetry ---" in out
+        assert "counters (totals):" in out
+
+    def test_no_flags_no_telemetry(self, problem_file, capsys):
+        assert main(["compile", problem_file]) == 0
+        out = capsys.readouterr().out
+        assert "# run report" not in out
+        assert "counters" not in out

@@ -1,0 +1,172 @@
+"""End-to-end observability: traced pipeline runs, stats() and cache safety."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.pipeline import MappingSystem
+from repro.errors import HardKeyConflictError, ReproError
+from repro.model.builder import SchemaBuilder
+from repro.obs import NOOP, Tracer
+from repro.obs.schema import validate
+from repro.scenarios import cars
+
+SCHEMA_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "docs" / "run_report.schema.json"
+)
+
+
+@pytest.fixture
+def traced_system():
+    return MappingSystem(cars.figure1_problem(), trace=True)
+
+
+class TestTracedPipeline:
+    def test_stage_reports_attached(self, traced_system):
+        mapping = traced_system.schema_mapping_result()
+        queries = traced_system.query_result()
+        evaluation = traced_system.transform_detailed(cars.cars3_source_instance())
+        assert mapping.run_report is not None
+        assert queries.run_report is not None
+        assert evaluation.run_report is not None
+        assert mapping.run_report.label == "schema-mapping"
+        assert queries.run_report.label == "query-generation"
+        assert evaluation.run_report.label == "evaluation"
+
+    def test_cars3_counters_nonzero(self, traced_system):
+        traced_system.transform(cars.cars3_source_instance())
+        counters = traced_system.stats().counters
+        # chase (§4)
+        assert counters["chase.steps"] > 0
+        assert counters["chase.tableaux"] > 0
+        # pruning (§5): Example 5.2 prunes by poison, subsumption and the
+        # non-null extension rule on this very scenario.
+        assert counters["prune.poison"] > 0
+        assert counters["prune.subsumption"] > 0
+        assert counters["prune.nonnull-extension"] > 0
+        assert counters["candidates.generated"] > counters["candidates.kept"] > 0
+        # key management (§6): one soft conflict, resolved by negation.
+        assert counters["conflicts.soft"] > 0
+        assert counters["resolution.disabled-negations"] > 0
+        # evaluation: per-stratum tuple counts.
+        assert counters["eval.strata"] > 0
+        assert counters["eval.tuples"] > 0
+        assert counters["skolem.nulls"] > 0
+
+    def test_stats_merges_all_stages(self, traced_system):
+        traced_system.transform(cars.cars3_source_instance())
+        report = traced_system.stats()
+        assert report.label == "schema-mapping+query-generation+evaluation"
+        names = [s["name"] for s in report.spans]
+        assert names == [
+            "stage.schema_mapping", "stage.query_generation", "stage.evaluate",
+        ]
+
+    def test_stats_without_transform(self, traced_system):
+        report = traced_system.stats()
+        assert report.label == "schema-mapping+query-generation"
+        assert "eval.tuples" not in report.counters
+
+    def test_per_stratum_spans(self, traced_system):
+        evaluation = traced_system.transform_detailed(cars.cars3_source_instance())
+        [stage] = evaluation.run_report.spans
+        strata = [c for c in stage["children"] if c["name"] == "eval.stratum"]
+        assert strata, "expected one span per stratum"
+        for stratum in strata:
+            assert "relation" in stratum["attributes"]
+            assert stratum["attributes"]["tuples"] == stratum["counters"].get(
+                "eval.tuples", 0
+            )
+
+    def test_fusion_counters_on_figure12(self):
+        system = MappingSystem(cars.figure12_problem(), trace=True)
+        system.transformation
+        counters = system.stats().counters
+        assert counters["resolution.fused"] > 0  # Example C.2 fuses o/d lines
+
+    def test_implication_pruning_on_figure14(self):
+        system = MappingSystem(cars.figure14_problem(), trace=True)
+        system.schema_mapping
+        assert system.stats().counters["prune.implication"] > 0  # Example C.3
+
+    def test_functor_unification_on_example_6_7(self):
+        from repro.scenarios.appendix_c import example_6_7_problem
+
+        system = MappingSystem(example_6_7_problem(), trace=True)
+        system.transformation
+        assert system.stats().counters["resolution.unified-functors"] > 0
+
+    def test_hard_conflict_counted_before_raise(self):
+        from repro.core.pipeline import MappingProblem
+
+        source = (
+            SchemaBuilder("s")
+            .relation("A", "c", "s", "v", key=["c", "s"])
+            .relation("B", "c", "s", "v", key=["c", "s"])
+            .build()
+        )
+        target = (
+            SchemaBuilder("t").relation("T", "c", "s", "v", key=["c", "s"]).build()
+        )
+        problem = MappingProblem(source, target)
+        for relation in ("A", "B"):
+            problem.add_correspondence(f"{relation}.c", "T.c")
+            problem.add_correspondence(f"{relation}.s", "T.s")
+            problem.add_correspondence(f"{relation}.v", "T.v")
+        system = MappingSystem(problem, trace=True)
+        with pytest.raises(HardKeyConflictError):
+            system.transformation
+        assert system.tracer.counters.get("conflicts.hard", 0) > 0
+
+    def test_report_validates_against_schema(self, traced_system):
+        traced_system.transform(cars.cars3_source_instance())
+        payload = json.loads(json.dumps(traced_system.stats().to_dict()))
+        schema = json.loads(SCHEMA_PATH.read_text())
+        validate(payload, schema)  # must not raise
+
+
+class TestDisabledPath:
+    def test_untraced_run_records_no_spans(self):
+        sentinel = Tracer()  # a live tracer that is never installed
+        system = MappingSystem(cars.figure1_problem())
+        system.transform(cars.cars3_source_instance())
+        assert system.tracer is None
+        assert sentinel.spans == [] and sentinel.counters == {}
+        assert NOOP.spans == () and NOOP.counters == {}
+        assert system.schema_mapping_result().run_report is None
+        assert system.query_result().run_report is None
+
+    def test_stats_requires_trace(self):
+        system = MappingSystem(cars.figure1_problem())
+        with pytest.raises(ReproError, match="trace=True"):
+            system.stats()
+
+
+class TestCacheInvalidation:
+    def test_mutating_problem_invalidates_caches(self):
+        problem = cars.figure1_problem()
+        system = MappingSystem(problem)
+        stale_mapping = system.schema_mapping_result()
+        stale_queries = system.query_result()
+        problem.add_correspondence("P3.name", "P2.email", "extra")
+        fresh_mapping = system.schema_mapping_result()
+        assert fresh_mapping is not stale_mapping
+        assert system.query_result() is not stale_queries
+        # The recomputed mapping reflects the mutated problem, not the old one:
+        # it matches what a brand-new system sees for the same problem.
+        control = MappingSystem(problem)
+        assert str(fresh_mapping.schema_mapping) == str(control.schema_mapping)
+
+    def test_removal_also_detected(self):
+        problem = cars.figure1_problem()
+        system = MappingSystem(problem)
+        stale = system.schema_mapping_result()
+        problem.correspondences.pop()
+        assert system.schema_mapping_result() is not stale
+
+    def test_unchanged_problem_keeps_cache(self):
+        system = MappingSystem(cars.figure1_problem())
+        first = system.schema_mapping_result()
+        assert system.schema_mapping_result() is first
+        assert system.query_result() is system.query_result()
