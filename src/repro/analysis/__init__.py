@@ -1,0 +1,82 @@
+"""Static analysis: lint schemas, mappings, and generated Datalog.
+
+The public surface:
+
+* :func:`analyze` — the full pass (``SCH*`` + ``MAP*`` + ``DLG*``) over a
+  :class:`~repro.core.pipeline.MappingProblem`, a
+  :class:`~repro.datalog.program.DatalogProgram` or a
+  :class:`~repro.model.schema.Schema`;
+* :func:`quick_lint` — the cheap always-on subset ``MappingSystem.compile``
+  runs;
+* the diagnostics vocabulary — :class:`Diagnostic`, :class:`SourceSpan`,
+  :class:`AnalysisReport`, the ``CODES`` registry and the severity
+  constants;
+* :func:`to_sarif` / :func:`to_sarif_json` — SARIF 2.1.0 serialization.
+
+See ``docs/ANALYSIS.md`` for the code reference.
+
+Attribute access is lazy (PEP 562): low-level modules
+(:mod:`repro.model.schema`, :mod:`repro.datalog.program`, ...) import
+:mod:`repro.analysis.diagnostics` inside their raise paths, and resolving
+``repro.analysis`` must not drag the whole pipeline in behind them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "ERROR": ".diagnostics",
+    "WARNING": ".diagnostics",
+    "INFO": ".diagnostics",
+    "SEVERITIES": ".diagnostics",
+    "CODES": ".diagnostics",
+    "CodeInfo": ".diagnostics",
+    "Diagnostic": ".diagnostics",
+    "SourceSpan": ".diagnostics",
+    "AnalysisReport": ".diagnostics",
+    "diagnostic": ".diagnostics",
+    "severity_at_least": ".diagnostics",
+    "lint_schema": ".schema_lint",
+    "lint_mapping": ".mapping_lint",
+    "lint_program": ".datalog_lint",
+    "analyze": ".analyzer",
+    "quick_lint": ".analyzer",
+    "to_sarif": ".sarif",
+    "to_sarif_json": ".sarif",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .analyzer import analyze, quick_lint
+    from .datalog_lint import lint_program
+    from .diagnostics import (
+        CODES,
+        ERROR,
+        INFO,
+        SEVERITIES,
+        WARNING,
+        AnalysisReport,
+        CodeInfo,
+        Diagnostic,
+        SourceSpan,
+        diagnostic,
+        severity_at_least,
+    )
+    from .mapping_lint import lint_mapping
+    from .sarif import to_sarif, to_sarif_json
+    from .schema_lint import lint_schema
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(module_name, __name__), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,215 @@
+"""Static checks on generated Datalog programs (the ``DLG*`` codes, §6).
+
+The paper's query-generation algorithms emit safe, non-recursive programs by
+construction; this linter re-establishes those guarantees on any
+:class:`~repro.datalog.program.DatalogProgram` — including hand-built or
+deserialized ones — and adds two checks the runtime never performs:
+
+* ``DLG004`` — every Skolem functor must be applied at one arity only, or
+  invented values would collide unpredictably across rules;
+* ``DLG010`` — a dataflow walk from nullable source attributes through rule
+  variables (and through intermediate ``tmp`` relations, whose per-position
+  nullability is inferred from their defining rules) to target columns,
+  flagging nulls that can reach a non-nullable target attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..datalog.program import DatalogProgram, Rule, unsafe_rule_variables
+from ..datalog.stratify import find_recursion_cycle
+from ..logic.terms import Constant, NullTerm, SkolemTerm, Term, Variable
+from ..model.schema import Schema
+from .diagnostics import Diagnostic, ERROR, WARNING, diagnostic
+
+# Dataflow lattice for "can this term be null?".
+_NO = "no"
+_MAYBE = "maybe"
+_NULL = "null"
+
+
+def safety_diagnostics(rule: Rule) -> list[Diagnostic]:
+    """``DLG001`` for every unbound head / negated / condition variable."""
+    return [
+        diagnostic(
+            "DLG001",
+            f"unsafe rule: {kind} variable {var!r} is not bound by a "
+            f"positive body atom in {rule!r}",
+            subject=rule.head_relation,
+        )
+        for kind, var in unsafe_rule_variables(rule)
+    ]
+
+
+def recursion_diagnostic(program: DatalogProgram) -> Diagnostic | None:
+    """``DLG002`` with the relation cycle and the rule that closes it."""
+    found = find_recursion_cycle(program)
+    if found is None:
+        return None
+    cycle, closing_rule = found
+    pretty = " -> ".join(cycle)
+    closed_by = f" (closed by rule {closing_rule!r})" if closing_rule else ""
+    return diagnostic(
+        "DLG002",
+        f"recursive Datalog program: {pretty}{closed_by}",
+        subject=cycle[0] if cycle else "",
+    )
+
+
+def dead_relation_diagnostics(program: DatalogProgram) -> list[Diagnostic]:
+    """``DLG003`` for intermediate relations no rule ever reads."""
+    read = {
+        atom.relation
+        for rule in program.rules
+        for atom in list(rule.body) + list(rule.negated)
+    }
+    return [
+        diagnostic(
+            "DLG003",
+            f"intermediate relation {name!r} is defined but never read by "
+            "any rule",
+            subject=name,
+        )
+        for name in program.intermediates
+        if name not in read
+    ]
+
+
+def _skolem_arities(terms: Iterable[Term], arities: dict[str, set[int]]) -> None:
+    for term in terms:
+        if isinstance(term, SkolemTerm):
+            arities.setdefault(term.functor, set()).add(len(term.args))
+            _skolem_arities(term.args, arities)
+
+
+def functor_arity_diagnostics(program: DatalogProgram) -> list[Diagnostic]:
+    """``DLG004`` for Skolem functors applied at more than one arity."""
+    arities: dict[str, set[int]] = {}
+    for rule in program.rules:
+        _skolem_arities(rule.head.terms, arities)
+        for atom in rule.body:
+            _skolem_arities(atom.terms, arities)
+    return [
+        diagnostic(
+            "DLG004",
+            f"Skolem functor {functor!r} is used with inconsistent arities "
+            f"{sorted(seen)}; invented values would collide unpredictably",
+            subject=functor,
+        )
+        for functor, seen in sorted(arities.items())
+        if len(seen) > 1
+    ]
+
+
+def _nullable_positions(schema: Schema | None) -> dict[str, list[bool]]:
+    if schema is None:
+        return {}
+    return {
+        relation.name: [a.nullable for a in relation.attributes]
+        for relation in schema
+    }
+
+
+def _term_null_status(
+    term: Term, rule: Rule, nullability: dict[str, list[bool]]
+) -> str:
+    """Whether ``term`` can be null under the rule's bindings and conditions."""
+    if isinstance(term, NullTerm):
+        return _NULL
+    if isinstance(term, (Constant, SkolemTerm)):
+        return _NO  # constants and invented values are never null
+    if not isinstance(term, Variable):  # pragma: no cover - defensive
+        return _MAYBE
+    if term in rule.nonnull_vars:
+        return _NO
+    if term in rule.null_vars:
+        return _NULL
+    for equality in rule.equalities:
+        if (equality.left is term and isinstance(equality.right, Constant)) or (
+            equality.right is term and isinstance(equality.left, Constant)
+        ):
+            return _NO
+    for atom in rule.body:
+        positions = nullability.get(atom.relation)
+        for index, body_term in enumerate(atom.terms):
+            if body_term is not term:
+                continue
+            if positions is not None and index < len(positions):
+                if not positions[index]:
+                    return _NO  # bound at a mandatory position: never null
+    # Bound only at nullable (or unknown) positions — or unbound, which
+    # DLG001 reports separately.  Either way the value may be null.
+    return _MAYBE
+
+
+def null_flow_diagnostics(program: DatalogProgram) -> list[Diagnostic]:
+    """``DLG010``: nulls reaching non-nullable target attributes.
+
+    Per-position nullability of intermediate relations is inferred from
+    their defining rules in evaluation order, so a null entering a ``tmp``
+    relation is tracked through to the target rules that read it.
+    """
+    target = program.target_schema
+    if target is None:
+        return []
+    nullability = _nullable_positions(program.source_schema)
+    nullability.update(_nullable_positions(target))
+
+    if find_recursion_cycle(program) is not None:
+        return []  # recursive program: reported as DLG002, dataflow undefined
+
+    from ..datalog.stratify import stratify
+
+    found: list[Diagnostic] = []
+    for relation in stratify(program):
+        rules = program.rules_for(relation)
+        if relation in program.intermediates:
+            # Infer the tmp relation's nullability from its defining rules.
+            arity = program.intermediates[relation]
+            inferred = [False] * arity
+            for rule in rules:
+                for index, term in enumerate(rule.head.terms[:arity]):
+                    if _term_null_status(term, rule, nullability) != _NO:
+                        inferred[index] = True
+            nullability[relation] = inferred
+            continue
+        if relation not in target:
+            continue
+        attributes = target.relation(relation).attributes
+        for rule in rules:
+            for index, term in enumerate(rule.head.terms):
+                if index >= len(attributes) or attributes[index].nullable:
+                    continue
+                status = _term_null_status(term, rule, nullability)
+                if status == _NO:
+                    continue
+                attribute = attributes[index]
+                certainty = (
+                    "always null" if status == _NULL else "may be null"
+                )
+                found.append(
+                    diagnostic(
+                        "DLG010",
+                        f"value flowing into mandatory attribute "
+                        f"{relation}.{attribute.name} {certainty} in rule "
+                        f"{rule!r}",
+                        subject=f"{relation}.{attribute.name}",
+                        severity=ERROR if status == _NULL else WARNING,
+                    )
+                )
+    return found
+
+
+def lint_program(program: DatalogProgram) -> list[Diagnostic]:
+    """All ``DLG*`` diagnostics of one Datalog program."""
+    found: list[Diagnostic] = []
+    for rule in program.rules:
+        found.extend(safety_diagnostics(rule))
+    recursion = recursion_diagnostic(program)
+    if recursion is not None:
+        found.append(recursion)
+    found.extend(dead_relation_diagnostics(program))
+    found.extend(functor_arity_diagnostics(program))
+    found.extend(null_flow_diagnostics(program))
+    return found

@@ -1,0 +1,259 @@
+"""The diagnostics framework: codes, severities, source spans, reports.
+
+Every well-formedness condition the paper states — weak acyclicity of the
+foreign keys (§3.1), coverage of correspondences (§5.2–5.3), functionality
+and key-conflict freedom of the unitary mappings (§6), safety and
+non-recursion of the emitted Datalog (§6) — is checked somewhere in this
+code base.  This module gives those checks a shared vocabulary: a
+:class:`Diagnostic` carries a stable code (``SCH010``, ``MAP002``, ...), a
+severity, a human message, a paper-section pointer and, when the subject
+came from the text DSL, a :class:`SourceSpan`.  An :class:`AnalysisReport`
+aggregates diagnostics and renders them for the CLI, and
+:func:`repro.analysis.sarif.to_sarif` serializes a report as SARIF 2.1.0.
+
+The full code reference lives in ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: Severities from most to least severe (SARIF levels use the same names).
+SEVERITIES = (ERROR, WARNING, INFO)
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+def severity_at_least(severity: str, threshold: str) -> bool:
+    """True iff ``severity`` is at least as severe as ``threshold``."""
+    return _SEVERITY_RANK[severity] <= _SEVERITY_RANK[threshold]
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A location in a DSL source file (1-based line and column)."""
+
+    line: int
+    column: int | None = None
+    end_line: int | None = None
+    end_column: int | None = None
+    file: str | None = None
+
+    def __str__(self) -> str:
+        where = self.file or "<input>"
+        text = f"{where}:{self.line}"
+        if self.column is not None:
+            text += f":{self.column}"
+        return text
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """The registry entry for one stable diagnostic code."""
+
+    code: str
+    title: str
+    severity: str
+    section: str  # the paper section the condition comes from
+    help: str = ""
+
+
+#: The stable diagnostic codes of the static analyzer.  ``SCH*`` are schema
+#: conditions (§3), ``MAP*`` mapping-level conditions (§5.3 and §6), ``DLG*``
+#: conditions on generated Datalog programs (§6), ``INS*`` instance-level
+#: constraint violations (§3.1) and ``PRS*`` DSL parse problems.
+CODES: dict[str, CodeInfo] = {
+    info.code: info
+    for info in (
+        CodeInfo("SCH001", "dangling foreign key", ERROR, "§3.1",
+                 "A foreign key names an unknown relation or attribute."),
+        CodeInfo("SCH002", "foreign key / key arity mismatch", ERROR, "§3.1",
+                 "A foreign key references a relation whose key is composite; "
+                 "the paper restricts foreign keys to reference simple keys."),
+        CodeInfo("SCH003", "duplicate foreign key", ERROR, "§3.1",
+                 "Two foreign keys are declared on the same attribute."),
+        CodeInfo("SCH010", "weak-acyclicity violation", ERROR, "§3.1",
+                 "The foreign keys do not form a weakly acyclic set: a cycle "
+                 "of the dependency graph goes through a special edge, so the "
+                 "modified chase is not guaranteed to terminate."),
+        CodeInfo("MAP001", "uncovered mandatory target attribute", WARNING, "§5.3",
+                 "No correspondence reaches a non-nullable target attribute; "
+                 "every generated mapping must invent (Skolemize) its value."),
+        CodeInfo("MAP002", "unresolved hard key conflict", ERROR, "§6",
+                 "Two unitary mappings copy distinct source values into the "
+                 "same target key (Algorithm 4, step 3: signal an error)."),
+        CodeInfo("MAP003", "non-functional unitary mapping", ERROR, "§6",
+                 "A unitary mapping can, on its own, produce two tuples with "
+                 "the same key but different values (Algorithm 4, step 2)."),
+        CodeInfo("MAP004", "invalid correspondence", ERROR, "§4",
+                 "A correspondence endpoint names an unknown relation or "
+                 "attribute, or traverses a non-foreign-key step."),
+        CodeInfo("MAP005", "schema-mapping generation failed", ERROR, "§5",
+                 "Algorithm 1/3 could not produce a schema mapping."),
+        CodeInfo("DLG001", "unsafe rule", ERROR, "§6",
+                 "A head, negated or condition variable is not bound by a "
+                 "positive body atom."),
+        CodeInfo("DLG002", "recursion cycle", ERROR, "§6",
+                 "The program is recursive; query generation must emit "
+                 "non-recursive Datalog."),
+        CodeInfo("DLG003", "dead intermediate relation", WARNING, "§6",
+                 "A tmp relation is defined but never read by any rule."),
+        CodeInfo("DLG004", "inconsistent Skolem functor arity", ERROR, "§6",
+                 "The same Skolem functor is applied to argument lists of "
+                 "different lengths; invented values would collide "
+                 "unpredictably."),
+        CodeInfo("DLG010", "null flowing into non-nullable target attribute",
+                 ERROR, "§6",
+                 "A (possibly) null value reaches a mandatory target column; "
+                 "the transformation can emit constraint-violating tuples."),
+        CodeInfo("INS001", "null in mandatory attribute", ERROR, "§3.1",
+                 "An instance tuple holds null in a non-nullable attribute."),
+        CodeInfo("INS002", "key violation", ERROR, "§3.1",
+                 "Two instance tuples share the same primary-key value."),
+        CodeInfo("INS003", "foreign-key violation", ERROR, "§3.1",
+                 "A non-null foreign-key value has no matching referenced "
+                 "key."),
+        CodeInfo("PRS001", "parse error", ERROR, "§4",
+                 "The DSL input could not be parsed."),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer."""
+
+    code: str
+    message: str
+    severity: str
+    span: SourceSpan | None = None
+    subject: str = ""  # e.g. "O3.person", "rule C2(...) <- ...", "figure-1"
+    section: str = ""
+
+    @property
+    def title(self) -> str:
+        info = CODES.get(self.code)
+        return info.title if info else self.code
+
+    def with_span(self, span: SourceSpan | None) -> "Diagnostic":
+        return replace(self, span=span) if span is not None else self
+
+    def render(self) -> str:
+        """One text line: ``file:line: CODE severity: message [§n]``."""
+        prefix = f"{self.span}: " if self.span else ""
+        section = f" [{self.section}]" if self.section else ""
+        return f"{prefix}{self.code} {self.severity}: {self.message}{section}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def diagnostic(
+    code: str,
+    message: str,
+    *,
+    span: SourceSpan | None = None,
+    subject: str = "",
+    severity: str | None = None,
+) -> Diagnostic:
+    """Build a :class:`Diagnostic`, defaulting severity/section from ``CODES``.
+
+    Per-code counters are recorded through the active :mod:`repro.obs`
+    tracer (``lint.<code>``), so lint activity shows up in run reports.
+    """
+    from ..obs import count
+
+    info = CODES.get(code)
+    if info is None:
+        raise KeyError(f"unknown diagnostic code {code!r}")
+    count(f"lint.{code}")
+    return Diagnostic(
+        code=code,
+        message=message,
+        severity=severity or info.severity,
+        span=span,
+        subject=subject,
+        section=info.section,
+    )
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one analysis run: an ordered list of diagnostics."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    subject: str = ""  # what was analyzed (file path, scenario name, ...)
+
+    def add(self, item: Diagnostic) -> None:
+        self.diagnostics.append(item)
+
+    def extend(self, items: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(items)
+
+    def merged(self, *others: "AnalysisReport") -> "AnalysisReport":
+        combined = AnalysisReport(list(self.diagnostics), subject=self.subject)
+        for other in others:
+            combined.diagnostics.extend(other.diagnostics)
+        return combined
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True iff the report has no errors (warnings/infos allowed)."""
+        return not self.errors
+
+    def at_least(self, threshold: str) -> list[Diagnostic]:
+        """Diagnostics at or above ``threshold`` severity."""
+        return [
+            d for d in self.diagnostics if severity_at_least(d.severity, threshold)
+        ]
+
+    def by_code(self) -> dict[str, int]:
+        """Per-code diagnostic counts, sorted by code."""
+        counts: dict[str, int] = {}
+        for item in self.diagnostics:
+            counts[item.code] = counts.get(item.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def codes(self) -> list[str]:
+        """The distinct codes present, sorted."""
+        return sorted({d.code for d in self.diagnostics})
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # -- rendering -------------------------------------------------------
+
+    def summary(self) -> str:
+        if not self.diagnostics:
+            return "clean: no diagnostics"
+        parts = [
+            f"{len(self.errors)} error(s)",
+            f"{len(self.warnings)} warning(s)",
+        ]
+        infos = len(self.diagnostics) - len(self.errors) - len(self.warnings)
+        if infos:
+            parts.append(f"{infos} info(s)")
+        return ", ".join(parts)
+
+    def render(self) -> str:
+        """The full text report, one line per diagnostic plus a summary."""
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)

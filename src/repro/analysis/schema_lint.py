@@ -1,0 +1,125 @@
+"""Schema well-formedness checks (the ``SCH*`` codes, paper §3.1).
+
+The structural conditions — foreign keys must name existing relations and
+attributes (``SCH001``), reference simple keys only (``SCH002``), be declared
+at most once per attribute (``SCH003``) — are checked both here and at
+:class:`repro.model.schema.Schema` construction time; the constructor routes
+through :func:`foreign_key_diagnostics` so its raises carry the structured
+diagnostic.  The global condition — weak acyclicity (``SCH010``) — reuses
+:func:`repro.model.graph.find_special_cycle` and prints the special cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from ..model.graph import find_special_cycle
+from .diagnostics import Diagnostic, diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..model.schema import ForeignKey, RelationSchema, Schema
+
+
+def foreign_key_diagnostics(
+    relations: Mapping[str, "RelationSchema"], fk: "ForeignKey"
+) -> list[Diagnostic]:
+    """Structural diagnostics for one foreign key (``SCH001`` / ``SCH002``)."""
+    span = getattr(fk, "span", None)
+    subject = f"{fk.relation}.{fk.attribute}"
+    found: list[Diagnostic] = []
+    if fk.relation not in relations:
+        found.append(
+            diagnostic(
+                "SCH001",
+                f"foreign key {fk} is declared on unknown relation "
+                f"{fk.relation!r}",
+                span=span,
+                subject=subject,
+            )
+        )
+    elif not relations[fk.relation].has_attribute(fk.attribute):
+        found.append(
+            diagnostic(
+                "SCH001",
+                f"foreign key {fk}: relation {fk.relation} has no attribute "
+                f"{fk.attribute!r}",
+                span=span,
+                subject=subject,
+            )
+        )
+    if fk.referenced not in relations:
+        found.append(
+            diagnostic(
+                "SCH001",
+                f"foreign key {fk} references unknown relation "
+                f"{fk.referenced!r}",
+                span=span,
+                subject=subject,
+            )
+        )
+    elif not relations[fk.referenced].has_simple_key:
+        found.append(
+            diagnostic(
+                "SCH002",
+                f"foreign key {fk}: referenced relation {fk.referenced} has "
+                f"the composite key {relations[fk.referenced].key}; the "
+                "paper restricts foreign keys to reference simple keys",
+                span=span,
+                subject=subject,
+            )
+        )
+    return found
+
+
+def duplicate_foreign_key_diagnostic(fk: "ForeignKey") -> Diagnostic:
+    """``SCH003``: a second foreign key on the same attribute."""
+    return diagnostic(
+        "SCH003",
+        f"duplicate foreign key on {fk.relation}.{fk.attribute}",
+        span=getattr(fk, "span", None),
+        subject=f"{fk.relation}.{fk.attribute}",
+    )
+
+
+def weak_acyclicity_diagnostic(schema: "Schema") -> Diagnostic | None:
+    """``SCH010`` with the special cycle printed, or None when acyclic."""
+    cycle = find_special_cycle(schema)
+    if cycle is None:
+        return None
+    pretty = " -> ".join(f"{r}.{a}" for r, a in cycle)
+    # Anchor the diagnostic on a foreign key that starts the special cycle.
+    span = None
+    fk = schema.foreign_key_from(*cycle[0])
+    if fk is not None:
+        span = getattr(fk, "span", None)
+    return diagnostic(
+        "SCH010",
+        f"schema {schema.name!r}: foreign keys are not weakly acyclic "
+        f"(cycle through a special edge: {pretty})",
+        span=span,
+        subject=schema.name,
+    )
+
+
+def lint_schema(schema: "Schema") -> list[Diagnostic]:
+    """All ``SCH*`` diagnostics of one schema.
+
+    Structural conditions are re-checked even though
+    :class:`~repro.model.schema.Schema` construction enforces them, so the
+    linter also works on schemas assembled leniently by
+    :func:`repro.dsl.parser.parse_problem_lenient`.
+    """
+    found: list[Diagnostic] = []
+    seen: set[tuple[str, str]] = set()
+    for fk in schema.foreign_keys:
+        found.extend(foreign_key_diagnostics(schema.relations, fk))
+        position = (fk.relation, fk.attribute)
+        if position in seen:
+            found.append(duplicate_foreign_key_diagnostic(fk))
+        seen.add(position)
+    # Weak acyclicity is only meaningful once the structure is sound.
+    if not found:
+        cycle = weak_acyclicity_diagnostic(schema)
+        if cycle is not None:
+            found.append(cycle)
+    return found

@@ -162,6 +162,91 @@ def cmd_reproduce(_args) -> int:
     return 1 if any(r.verdict == "FAIL" for r in results) else 0
 
 
+def cmd_lint(args) -> int:
+    from .analysis.analyzer import analyze
+    from .analysis.diagnostics import (
+        ERROR,
+        WARNING,
+        AnalysisReport,
+        severity_at_least,
+    )
+    from .analysis.sarif import to_sarif_json
+    from .dsl.parser import parse_problem_lenient
+
+    subjects: list[tuple[str, MappingProblem, list]] = []
+    for path in args.problems:
+        if path.endswith(".json"):
+            subjects.append((path, load_problem(path), []))
+        else:
+            with open(path) as handle:
+                problem, parse_diags = parse_problem_lenient(
+                    handle.read(), name=path, file=path
+                )
+            subjects.append((path, problem, parse_diags))
+    if args.all_scenarios or args.scenario:
+        from . import scenarios
+
+        bundled = scenarios.bundled_problems()
+        if args.scenario:
+            if args.scenario not in bundled:
+                print(
+                    f"error: unknown scenario {args.scenario!r}; "
+                    f"available: {', '.join(sorted(bundled))}",
+                    file=sys.stderr,
+                )
+                return 2
+            bundled = {args.scenario: bundled[args.scenario]}
+        subjects.extend((name, problem, []) for name, problem in bundled.items())
+    if not subjects:
+        print("error: nothing to lint (pass problem files, --scenario or "
+              "--all-scenarios)", file=sys.stderr)
+        return 2
+
+    reports: list[AnalysisReport] = []
+    for name, problem, parse_diags in subjects:
+        report = analyze(problem, deep=not args.no_deep, algorithm=args.algorithm)
+        # Lenient parsing and re-linting the built schema can both see the
+        # same defect (e.g. SCH010); keep one copy of each finding.
+        merged = AnalysisReport(subject=name)
+        seen = set()
+        for item in parse_diags + report.diagnostics:
+            key = (item.code, item.message, str(item.span))
+            if key not in seen:
+                seen.add(key)
+                merged.add(item)
+        reports.append(merged)
+
+    sarif = None
+    if args.format == "sarif" or args.sarif_out:
+        sarif = to_sarif_json(*reports)
+    if args.sarif_out:
+        with open(args.sarif_out, "w") as handle:
+            handle.write(sarif + "\n")
+    if args.format == "sarif":
+        print(sarif)
+    else:
+        for report in reports:
+            print(f"# {report.subject}")
+            print(report.render())
+            print()
+        total_errors = sum(len(r.errors) for r in reports)
+        total_warnings = sum(len(r.warnings) for r in reports)
+        print(
+            f"{len(reports)} subject(s): {total_errors} error(s), "
+            f"{total_warnings} warning(s)"
+        )
+
+    if args.fail_on == "never":
+        return 0
+    threshold = ERROR if args.fail_on == "error" else WARNING
+    failing = any(
+        severity_at_least(item.severity, threshold)
+        for report in reports
+        for item in report
+    )
+    return 1 if failing else 0
+
+
 def cmd_match(args) -> int:
     with open(args.source) as handle:
         source = parse_schema(handle.read(), name="source")
@@ -249,6 +334,42 @@ def build_parser() -> argparse.ArgumentParser:
         "reproduce", help="re-run every paper figure and print the verdicts"
     )
     reproduce_parser.set_defaults(func=cmd_reproduce)
+
+    lint_parser = sub.add_parser(
+        "lint", help="statically analyze problems (schemas, mappings, Datalog)"
+    )
+    lint_parser.add_argument(
+        "problems", nargs="*",
+        help="problem files (.txt DSL, parsed leniently, or .json)",
+    )
+    lint_parser.add_argument(
+        "--scenario", metavar="NAME", help="lint one bundled scenario by name"
+    )
+    lint_parser.add_argument(
+        "--all-scenarios", action="store_true",
+        help="lint every bundled scenario (the CI configuration)",
+    )
+    lint_parser.add_argument(
+        "--algorithm", choices=[BASIC, NOVEL], default=NOVEL,
+        help="algorithm the deep checks and the generated program reflect",
+    )
+    lint_parser.add_argument(
+        "--no-deep", action="store_true",
+        help="static checks only: skip the pipeline-backed MAP/DLG checks",
+    )
+    lint_parser.add_argument(
+        "--format", choices=["text", "sarif"], default="text",
+        help="output format (sarif = SARIF 2.1.0 JSON on stdout)",
+    )
+    lint_parser.add_argument(
+        "--sarif-out", metavar="PATH",
+        help="also write the SARIF 2.1.0 log to PATH",
+    )
+    lint_parser.add_argument(
+        "--fail-on", choices=["error", "warning", "never"], default="error",
+        help="lowest severity that makes the exit status 1 (default: error)",
+    )
+    lint_parser.set_defaults(func=cmd_lint)
 
     match_parser = sub.add_parser("match", help="suggest correspondences")
     match_parser.add_argument("source", help="source schema file (DSL)")

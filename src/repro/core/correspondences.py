@@ -14,10 +14,14 @@ the traversal symbol: ``"O3.person > P3.name"``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..errors import CorrespondenceError
 from ..model.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis.diagnostics import SourceSpan
 
 FILTER_OPERATORS = ("=", "!=")
 
@@ -126,6 +130,8 @@ class Correspondence:
     target: ReferencedAttribute
     label: str = ""
     filters: tuple[Filter, ...] = ()
+    #: DSL declaration site; excluded from equality and hashing.
+    span: "SourceSpan | None" = field(default=None, compare=False, repr=False)
 
     @property
     def is_plain(self) -> bool:
@@ -174,7 +180,11 @@ def parse_filter(text: str) -> Filter:
 
 
 def correspondence(
-    source: str, target: str, label: str = "", where: str = ""
+    source: str,
+    target: str,
+    label: str = "",
+    where: str = "",
+    span: "SourceSpan | None" = None,
 ) -> Correspondence:
     """Build a correspondence from textual endpoints.
 
@@ -191,6 +201,7 @@ def correspondence(
         parse_referenced_attribute(target),
         label,
         filters,
+        span=span,
     )
 
 

@@ -112,4 +112,13 @@ def assert_all_functional(
         for mapping in mappings:
             violation = check_functionality(mapping, source_schema, target_schema)
             if violation is not None:
-                raise NonFunctionalMappingError(str(violation))
+                from ..analysis.diagnostics import diagnostic
+
+                raise NonFunctionalMappingError(
+                    str(violation),
+                    diagnostic=diagnostic(
+                        "MAP003",
+                        str(violation),
+                        subject=mapping.name or mapping.origin,
+                    ),
+                )

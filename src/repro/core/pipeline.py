@@ -36,13 +36,15 @@ class MappingProblem:
     name: str = "mapping-problem"
 
     def add_correspondence(
-        self, source: str, target: str, label: str = "", where: str = ""
+        self, source: str, target: str, label: str = "", where: str = "", span=None
     ) -> Correspondence:
         """Add a correspondence from textual endpoints and return it.
 
         ``where`` accepts Clio-style filters, e.g. ``"P3.name != 'MJ'"``.
+        ``span`` records the DSL declaration site when the correspondence
+        came from a parsed problem file.
         """
-        built = correspondence(source, target, label, where=where)
+        built = correspondence(source, target, label, where=where, span=span)
         built.validate(self.source_schema, self.target_schema)
         self.correspondences.append(built)
         return built
@@ -96,6 +98,9 @@ class MappingSystem:
         self._query_result: QueryGenerationResult | None = None
         self._last_evaluation: EvaluationResult | None = None
         self._fingerprint = self._problem_fingerprint()
+        #: the AnalysisReport of the most recent :meth:`compile` quick lint
+        self.lint_report = None
+        self._lint_run_report: RunReport | None = None
 
     def _traced(self):
         return use_tracer(self.tracer) if self.tracer is not None else nullcontext()
@@ -152,6 +157,35 @@ class MappingSystem:
     def transformation(self) -> DatalogProgram:
         return self.query_result().program
 
+    def compile(self, strict: bool = True) -> DatalogProgram:
+        """Lint cheaply, then run both pipeline stages and return the program.
+
+        The lint pass is the always-on subset of the static analyzer
+        (:func:`repro.analysis.quick_lint`): schema structure, weak
+        acyclicity, correspondence validity and coverage of mandatory target
+        attributes — no pipeline stages, no satisfiability checks.  The
+        report is kept on :attr:`lint_report`; per-code ``lint.*`` counters
+        flow through the tracer when the system was created with
+        ``trace=True``.  With ``strict`` (the default) the first lint error
+        aborts compilation; warnings never do.
+        """
+        from ..analysis.analyzer import quick_lint
+        from ..obs import span as obs_span, stage_report
+
+        with self._traced():
+            with obs_span("stage.lint", problem=self.problem.name) as trace:
+                report = quick_lint(self.problem)
+                trace.set(diagnostics=len(report))
+            self._lint_run_report = stage_report(trace, "lint")
+        self.lint_report = report
+        if strict and not report.ok:
+            first = report.errors[0]
+            raise ReproError(
+                f"lint failed for {self.problem.name!r}: {first.render()}",
+                diagnostic=first,
+            )
+        return self.transformation
+
     # -- execution -----------------------------------------------------------
 
     def transform(self, source: Instance) -> Instance:
@@ -186,4 +220,4 @@ class MappingSystem:
             self._last_evaluation.run_report if self._last_evaluation else None
         )
         assert stage1 is not None and stage2 is not None
-        return stage1.merged(stage2, evaluation)
+        return stage1.merged(stage2, evaluation, self._lint_run_report)

@@ -216,9 +216,19 @@ def _resolve_key_conflicts(
                 ):
                     group_conflicts.append(conflict)
                     if conflict.is_hard:
-                        raise HardKeyConflictError(
+                        from ..analysis.diagnostics import diagnostic
+
+                        message = (
                             f"hard key conflict: {conflict} — both mappings copy "
                             "source values into the same key"
+                        )
+                        raise HardKeyConflictError(
+                            message,
+                            diagnostic=diagnostic(
+                                "MAP002",
+                                message,
+                                subject=f"{relation_name}.{conflict.attribute}",
+                            ),
                         )
                     if conflict.preferred == "left":
                         preferred_over.setdefault((i, j), set()).add(conflict.attribute)

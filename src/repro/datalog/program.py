@@ -38,30 +38,25 @@ class Rule:
         return atoms_variables(self.body)
 
     def check_safety(self) -> None:
-        """Heads, negations and conditions may only use positive body variables."""
-        bound = set(self.body_variables())
-        for var in self.head.variables():
-            if var not in bound:
-                raise DatalogError(
-                    f"unsafe rule: head variable {var!r} not bound in body: {self!r}"
-                )
-        for atom in self.negated:
-            for var in atom.variables():
-                if var not in bound:
-                    raise DatalogError(
-                        f"unsafe rule: negated variable {var!r} not bound: {self!r}"
-                    )
-        for var in list(self.null_vars) + list(self.nonnull_vars):
-            if var not in bound:
-                raise DatalogError(
-                    f"unsafe rule: condition variable {var!r} not bound: {self!r}"
-                )
-        for condition in list(self.equalities) + list(self.disequalities):
-            for var in condition.variables():
-                if var not in bound:
-                    raise DatalogError(
-                        f"unsafe rule: condition variable {var!r} not bound: {self!r}"
-                    )
+        """Heads, negations and conditions may only use positive body variables.
+
+        Raises :class:`DatalogError` carrying the structured ``DLG001``
+        diagnostic of the first unbound variable (see :mod:`repro.analysis`).
+        """
+        problems = unsafe_rule_variables(self)
+        if problems:
+            from ..analysis.diagnostics import diagnostic
+
+            kind, var = problems[0]
+            raise DatalogError(
+                f"unsafe rule: {kind} variable {var!r} not bound in body: {self!r}",
+                diagnostic=diagnostic(
+                    "DLG001",
+                    f"unsafe rule: {kind} variable {var!r} is not bound by a "
+                    f"positive body atom in {self!r}",
+                    subject=self.head_relation,
+                ),
+            )
 
     def __repr__(self) -> str:
         parts = [repr(a) for a in self.body]
@@ -71,6 +66,32 @@ class Rule:
         parts.extend(repr(d) for d in self.disequalities)
         parts.extend(f"not {a!r}" for a in self.negated)
         return f"{self.head!r} <- {', '.join(parts)}"
+
+
+def unsafe_rule_variables(rule: Rule) -> list[tuple[str, Variable]]:
+    """All safety violations of one rule as ``(kind, variable)`` pairs.
+
+    ``kind`` is ``"head"``, ``"negated"`` or ``"condition"``.  Shared by
+    :meth:`Rule.check_safety` (which raises on the first) and the ``DLG001``
+    check of :mod:`repro.analysis.datalog_lint` (which reports them all).
+    """
+    bound = set(rule.body_variables())
+    problems: list[tuple[str, Variable]] = []
+    for var in rule.head.variables():
+        if var not in bound:
+            problems.append(("head", var))
+    for atom in rule.negated:
+        for var in atom.variables():
+            if var not in bound:
+                problems.append(("negated", var))
+    for var in list(rule.null_vars) + list(rule.nonnull_vars):
+        if var not in bound:
+            problems.append(("condition", var))
+    for condition in list(rule.equalities) + list(rule.disequalities):
+        for var in condition.variables():
+            if var not in bound:
+                problems.append(("condition", var))
+    return problems
 
 
 @dataclass

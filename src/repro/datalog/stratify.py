@@ -6,6 +6,11 @@ relations depend on source and ``tmp`` relations).  :func:`stratify` verifies
 this — any dependency cycle among defined relations is rejected — and
 returns the defined relations in a safe evaluation order (dependencies
 first), which doubles as a stratification for the safe negation.
+
+On recursion the error names the relation cycle *and* the rule that closes
+it, and carries the structured ``DLG002`` diagnostic of
+:mod:`repro.analysis.diagnostics`; :func:`find_recursion_cycle` exposes the
+same witness non-destructively for the linter.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ from typing import TYPE_CHECKING
 from ..errors import DatalogError
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .program import DatalogProgram
+    from .program import DatalogProgram, Rule
 
 
 def dependencies(program: "DatalogProgram") -> dict[str, set[str]]:
@@ -33,8 +38,59 @@ def dependencies(program: "DatalogProgram") -> dict[str, set[str]]:
     return graph
 
 
+def _closing_rule(
+    program: "DatalogProgram", reader: str, read: str
+) -> "Rule | None":
+    """A rule with head ``reader`` whose body or negation reads ``read``."""
+    for rule in program.rules_for(reader):
+        if any(
+            atom.relation == read
+            for atom in list(rule.body) + list(rule.negated)
+        ):
+            return rule
+    return None
+
+
+def find_recursion_cycle(
+    program: "DatalogProgram",
+) -> tuple[list[str], "Rule | None"] | None:
+    """A dependency cycle among defined relations, or ``None`` if acyclic.
+
+    Returns the cycle as a relation list ``[r1, ..., rn, r1]`` plus the rule
+    that closes it (the rule with head ``rn`` reading ``r1``).
+    """
+    graph = dependencies(program)
+    state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+    def visit(name: str, trail: list[str]) -> tuple[list[str], "Rule | None"] | None:
+        status = state.get(name)
+        if status == 1:
+            return None
+        if status == 0:
+            cycle = trail[trail.index(name):] + [name]
+            return cycle, _closing_rule(program, cycle[-2], name)
+        state[name] = 0
+        for dependency in sorted(graph[name]):
+            found = visit(dependency, trail + [name])
+            if found is not None:
+                return found
+        state[name] = 1
+        return None
+
+    for name in graph:
+        found = visit(name, [])
+        if found is not None:
+            return found
+    return None
+
+
 def stratify(program: "DatalogProgram") -> list[str]:
-    """Defined relations in evaluation order; raises on recursion."""
+    """Defined relations in evaluation order; raises on recursion.
+
+    The order is deterministic: it depends only on the rule list (first
+    definition order) and relation names, never on hashing or object
+    identity.
+    """
     graph = dependencies(program)
     order: list[str] = []
     state: dict[str, int] = {}  # 0 = visiting, 1 = done
@@ -44,8 +100,20 @@ def stratify(program: "DatalogProgram") -> list[str]:
         if status == 1:
             return
         if status == 0:
-            cycle = " -> ".join(trail[trail.index(name):] + [name])
-            raise DatalogError(f"recursive Datalog program: {cycle}")
+            cycle = trail[trail.index(name):] + [name]
+            pretty = " -> ".join(cycle)
+            rule = _closing_rule(program, cycle[-2], name)
+            closed_by = f" (closed by rule {rule!r})" if rule is not None else ""
+            from ..analysis.diagnostics import diagnostic
+
+            raise DatalogError(
+                f"recursive Datalog program: {pretty}{closed_by}",
+                diagnostic=diagnostic(
+                    "DLG002",
+                    f"recursive Datalog program: {pretty}{closed_by}",
+                    subject=name,
+                ),
+            )
         state[name] = 0
         for dependency in sorted(graph[name]):
             visit(dependency, trail + [name])

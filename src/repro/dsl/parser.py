@@ -25,14 +25,31 @@ Instances use one line per relation, ``null`` for the null value::
 
     P3: (p21, John, j@...), (p22, MJ, mj@...)
     O3: (c85, p22)
+
+``#`` starts a comment — except inside a single-quoted value, where it is
+literal (``P3.name = '#1'`` in a filter, or ``(x, '#tag')`` in an instance).
+
+Every parsed object (relations, attributes, foreign keys, correspondences)
+carries a :class:`~repro.analysis.diagnostics.SourceSpan` naming the line it
+was declared on, so static-analysis findings point back into the input.
+:func:`parse_problem` raises on the first defect; :func:`parse_problem_lenient`
+drops defective foreign keys and correspondences instead and reports them as
+diagnostics — the form the ``repro lint`` CLI uses, so one broken file can
+surface several findings at once.
 """
 
 from __future__ import annotations
 
 import re
 
+from ..analysis.diagnostics import Diagnostic, SourceSpan, diagnostic
+from ..analysis.schema_lint import (
+    duplicate_foreign_key_diagnostic,
+    foreign_key_diagnostics,
+    weak_acyclicity_diagnostic,
+)
 from ..core.pipeline import MappingProblem
-from ..errors import ParseError
+from ..errors import ParseError, ReproError
 from ..model.builder import SchemaBuilder
 from ..model.instance import Instance
 from ..model.schema import Attribute, Schema
@@ -45,12 +62,19 @@ _LABEL = re.compile(r"\[([^\]]*)\]\s*$")
 
 
 def _strip_comment(line: str) -> str:
-    if "#" in line:
-        line = line[: line.index("#")]
+    """Drop a ``#`` comment — unless the ``#`` sits inside a quoted value."""
+    if "#" not in line:
+        return line.strip()
+    in_quote = False
+    for position, char in enumerate(line):
+        if char == "'":
+            in_quote = not in_quote
+        elif char == "#" and not in_quote:
+            return line[:position].strip()
     return line.strip()
 
 
-def _parse_attribute_spec(spec: str, line_number: int):
+def _parse_attribute_spec(spec: str, line_number: int, span: SourceSpan | None = None):
     """Parse one attribute spec; returns (Attribute, is_key, fk_target | None)."""
     spec = spec.strip()
     fk_target = None
@@ -73,36 +97,71 @@ def _parse_attribute_spec(spec: str, line_number: int):
         name = name[:-1]
     if not name.isidentifier():
         raise ParseError(f"bad attribute name {name!r}", line_number)
-    return Attribute(name, nullable=nullable), is_key, fk_target
+    return Attribute(name, nullable=nullable, span=span), is_key, fk_target
 
 
 class _SchemaSection:
-    def __init__(self, name: str):
+    def __init__(self, name: str, file: str | None = None):
         self.builder = SchemaBuilder(name)
-        self.pending_fks: list[tuple[str, str, str]] = []
+        self.file = file
+        self.pending_fks: list[tuple[str, str, str, SourceSpan]] = []
         self.saw_relation = False
 
     def add_relation(self, name: str, body: str, line_number: int) -> None:
+        span = SourceSpan(line_number, file=self.file)
         attributes: list[Attribute] = []
         keys: list[str] = []
         for spec in body.split(","):
-            attribute, is_key, fk_target = _parse_attribute_spec(spec, line_number)
+            attribute, is_key, fk_target = _parse_attribute_spec(
+                spec, line_number, span=span
+            )
             attributes.append(attribute)
             if is_key:
                 keys.append(attribute.name)
             if fk_target:
-                self.pending_fks.append((name, attribute.name, fk_target))
-        self.builder.relation(name, *attributes, key=keys or None)
+                self.pending_fks.append((name, attribute.name, fk_target, span))
+        self.builder.relation(name, *attributes, key=keys or None, span=span)
         self.saw_relation = True
 
     def build(self) -> Schema:
-        for relation, attribute, target in self.pending_fks:
-            self.builder.foreign_key(relation, attribute, target)
+        for relation, attribute, target, span in self.pending_fks:
+            self.builder.foreign_key(relation, attribute, target, span=span)
         return self.builder.build()
 
+    def build_lenient(self) -> tuple[Schema, list[Diagnostic]]:
+        """Build, dropping defective foreign keys and reporting them.
 
-def parse_problem(text: str, name: str = "parsed-problem") -> MappingProblem:
-    """Parse a full mapping problem (two schemas plus correspondences)."""
+        Structural foreign-key defects (``SCH001``/``SCH002``/``SCH003``)
+        become diagnostics and the offending declarations are dropped, so a
+        schema object always comes back; a weak-acyclicity violation
+        (``SCH010``) is reported but leaves the foreign keys in place.
+        """
+        from ..model.schema import ForeignKey
+
+        probe = self.builder.build_relations()
+        found: list[Diagnostic] = []
+        seen: set[tuple[str, str]] = set()
+        for relation, attribute, target, span in self.pending_fks:
+            fk = ForeignKey(relation, attribute, target, span=span)
+            problems = foreign_key_diagnostics(probe, fk)
+            if not problems and (relation, attribute) in seen:
+                problems = [duplicate_foreign_key_diagnostic(fk)]
+            if problems:
+                found.extend(problems)
+                continue
+            seen.add((relation, attribute))
+            self.builder.foreign_key(relation, attribute, target, span=span)
+        schema = self.builder.build(validate=False)
+        cycle = weak_acyclicity_diagnostic(schema)
+        if cycle is not None:
+            found.append(cycle)
+        return schema, found
+
+
+def _parse_structure(
+    text: str, file: str | None = None
+) -> tuple[dict[str, _SchemaSection], list[tuple[str, str, str, str, int]]]:
+    """The shared parse loop: schema sections plus raw correspondence tuples."""
     sections: dict[str, _SchemaSection] = {}
     correspondences: list[tuple[str, str, str, str, int]] = []
     current: _SchemaSection | None = None
@@ -117,7 +176,7 @@ def parse_problem(text: str, name: str = "parsed-problem") -> MappingProblem:
             role, schema_name = header.groups()
             if role in sections:
                 raise ParseError(f"duplicate {role} schema", line_number)
-            current = _SchemaSection(schema_name)
+            current = _SchemaSection(schema_name, file=file)
             sections[role] = current
             in_correspondences = False
             continue
@@ -153,20 +212,69 @@ def parse_problem(text: str, name: str = "parsed-problem") -> MappingProblem:
 
     if "source" not in sections or "target" not in sections:
         raise ParseError("a problem needs both a source and a target schema")
+    return sections, correspondences
+
+
+def parse_problem(
+    text: str, name: str = "parsed-problem", file: str | None = None
+) -> MappingProblem:
+    """Parse a full mapping problem (two schemas plus correspondences).
+
+    ``file`` only labels the source spans attached to the parsed objects; the
+    text itself is always taken from ``text``.
+    """
+    sections, correspondences = _parse_structure(text, file=file)
     problem = MappingProblem(
         sections["source"].build(), sections["target"].build(), name=name
     )
     for source, target, label, where, line_number in correspondences:
         try:
-            problem.add_correspondence(source, target, label, where=where)
+            problem.add_correspondence(
+                source,
+                target,
+                label,
+                where=where,
+                span=SourceSpan(line_number, file=file),
+            )
         except Exception as error:
             raise ParseError(str(error), line_number) from error
     return problem
 
 
-def parse_schema(text: str, name: str = "parsed-schema") -> Schema:
+def parse_problem_lenient(
+    text: str, name: str = "parsed-problem", file: str | None = None
+) -> tuple[MappingProblem, list[Diagnostic]]:
+    """Parse a problem, reporting semantic defects instead of raising.
+
+    Syntax errors still raise :class:`~repro.errors.ParseError` (there is no
+    structure to recover); defective foreign keys and correspondences are
+    dropped with diagnostics (``SCH00x`` / ``SCH010`` / ``MAP004``), so the
+    linter can report every finding in a broken file at once.
+    """
+    sections, correspondences = _parse_structure(text, file=file)
+    source_schema, found = sections["source"].build_lenient()
+    target_schema, more = sections["target"].build_lenient()
+    found.extend(more)
+    problem = MappingProblem(source_schema, target_schema, name=name)
+    for source, target, label, where, line_number in correspondences:
+        span = SourceSpan(line_number, file=file)
+        try:
+            problem.add_correspondence(source, target, label, where=where, span=span)
+        except ReproError as error:
+            found.append(
+                diagnostic(
+                    "MAP004",
+                    f"invalid correspondence {source!r} -> {target!r}: {error}",
+                    span=span,
+                    subject=f"{source} -> {target}",
+                )
+            )
+    return problem, found
+
+
+def parse_schema(text: str, name: str = "parsed-schema", file: str | None = None) -> Schema:
     """Parse a bare list of ``relation ...`` lines into a schema."""
-    section = _SchemaSection(name)
+    section = _SchemaSection(name, file=file)
     for line_number, raw in enumerate(text.splitlines(), start=1):
         line = _strip_comment(raw)
         if not line:
@@ -184,7 +292,12 @@ _TUPLE = re.compile(r"\(([^()]*)\)")
 
 
 def parse_instance(text: str, schema: Schema) -> Instance:
-    """Parse ``Relation: (v1, v2), (v3, v4)`` lines into an instance."""
+    """Parse ``Relation: (v1, v2), (v3, v4)`` lines into an instance.
+
+    Values may be single-quoted to protect special characters (``'#tag'``,
+    ``'with, comma'`` is *not* supported — commas still split); surrounding
+    quotes are stripped.
+    """
     instance = Instance(schema)
     for line_number, raw in enumerate(text.splitlines(), start=1):
         line = _strip_comment(raw)
@@ -200,6 +313,10 @@ def parse_instance(text: str, schema: Schema) -> Instance:
             values = []
             for piece in match.group(1).split(","):
                 piece = piece.strip()
-                values.append(NULL if piece == "null" else piece)
+                if piece.startswith("'") and piece.endswith("'") and len(piece) >= 2:
+                    piece = piece[1:-1]
+                    values.append(piece)
+                else:
+                    values.append(NULL if piece == "null" else piece)
             instance.add(relation, tuple(values))
     return instance

@@ -10,9 +10,24 @@ logical mappings).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .analysis.diagnostics import Diagnostic
+
 
 class ReproError(Exception):
-    """Base class for every error raised by this library."""
+    """Base class for every error raised by this library.
+
+    Raise sites that correspond to a stable static-analysis code (see
+    :mod:`repro.analysis.diagnostics`) pass the structured diagnostic via
+    the ``diagnostic`` keyword; it is exposed as ``error.diagnostic`` so the
+    CLI and the linter can surface the code, severity and source span.
+    """
+
+    def __init__(self, *args: Any, diagnostic: "Diagnostic | None" = None):
+        super().__init__(*args)
+        self.diagnostic = diagnostic
 
 
 class SchemaError(ReproError):
@@ -74,8 +89,13 @@ class EvaluationError(DatalogError):
 class ParseError(ReproError):
     """A syntax error in the schema / correspondence DSL."""
 
-    def __init__(self, message: str, line: int | None = None):
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        diagnostic: "Diagnostic | None" = None,
+    ):
         self.line = line
         if line is not None:
             message = f"line {line}: {message}"
-        super().__init__(message)
+        super().__init__(message, diagnostic=diagnostic)

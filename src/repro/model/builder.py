@@ -18,10 +18,13 @@ the paper's ``null`` superscript: ``"person?"`` is a nullable ``person``.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from ..errors import SchemaError
 from .schema import Attribute, ForeignKey, RelationSchema, Schema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis.diagnostics import SourceSpan
 
 
 def parse_attribute(spec: str | Attribute) -> Attribute:
@@ -46,16 +49,31 @@ class SchemaBuilder:
         name: str,
         *attributes: str | Attribute,
         key: str | Iterable[str] | None = None,
+        span: "SourceSpan | None" = None,
     ) -> "SchemaBuilder":
         """Add a relation; the first attribute is the key unless ``key`` is given."""
         parsed = [parse_attribute(a) for a in attributes]
-        self._relations.append(RelationSchema(name, parsed, key=key))
+        self._relations.append(RelationSchema(name, parsed, key=key, span=span))
         return self
 
-    def foreign_key(self, relation: str, attribute: str, referenced: str) -> "SchemaBuilder":
+    def foreign_key(
+        self,
+        relation: str,
+        attribute: str,
+        referenced: str,
+        span: "SourceSpan | None" = None,
+    ) -> "SchemaBuilder":
         """Declare ``relation.attribute`` as a foreign key into ``referenced``."""
-        self._foreign_keys.append(ForeignKey(relation, attribute, referenced))
+        self._foreign_keys.append(ForeignKey(relation, attribute, referenced, span=span))
         return self
+
+    def build_relations(self) -> dict[str, RelationSchema]:
+        """The accumulated relations by name, without any schema-level checks.
+
+        Used by the lenient parse mode to probe pending foreign keys against
+        the declared relations before committing them to the schema.
+        """
+        return {r.name: r for r in self._relations}
 
     def build(self, validate: bool = True) -> Schema:
         """Build the schema; by default also checks weak acyclicity."""

@@ -93,13 +93,29 @@ def find_special_cycle(schema: Schema) -> list[Node] | None:
 
 
 def check_weak_acyclicity(schema: Schema) -> None:
-    """Raise :class:`WeakAcyclicityError` if the schema is not weakly acyclic."""
+    """Raise :class:`WeakAcyclicityError` if the schema is not weakly acyclic.
+
+    The error carries the structured ``SCH010`` diagnostic (with the special
+    cycle printed and the span of a foreign key starting it, when known).
+    """
     cycle = find_special_cycle(schema)
     if cycle is not None:
+        from ..analysis.diagnostics import diagnostic
+
         pretty = " -> ".join(f"{r}.{a}" for r, a in cycle)
-        raise WeakAcyclicityError(
+        message = (
             f"schema {schema.name!r}: foreign keys are not weakly acyclic "
             f"(cycle through a special edge: {pretty})"
+        )
+        fk = schema.foreign_key_from(*cycle[0])
+        raise WeakAcyclicityError(
+            message,
+            diagnostic=diagnostic(
+                "SCH010",
+                message,
+                span=getattr(fk, "span", None),
+                subject=schema.name,
+            ),
         )
 
 

@@ -14,18 +14,27 @@ This follows the paper's data model (section 3.1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..errors import SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis.diagnostics import SourceSpan
 
 
 @dataclass(frozen=True)
 class Attribute:
-    """A named attribute of a relation, possibly nullable."""
+    """A named attribute of a relation, possibly nullable.
+
+    ``span`` records where the attribute was declared when it came from the
+    text DSL; it is excluded from equality and hashing, so two schemas that
+    differ only in source locations still compare equal.
+    """
 
     name: str
     nullable: bool = False
+    span: "SourceSpan | None" = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -41,12 +50,14 @@ class ForeignKey:
 
     Only single-attribute foreign keys referencing simple keys are supported,
     per the paper's restriction ("we consider foreign keys used to reference
-    simple keys only").
+    simple keys only").  ``span`` carries the DSL declaration site (excluded
+    from equality/hashing).
     """
 
     relation: str
     attribute: str
     referenced: str
+    span: "SourceSpan | None" = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return f"{self.relation}.{self.attribute} -> {self.referenced}"
@@ -60,10 +71,12 @@ class RelationSchema:
         name: str,
         attributes: Iterable[Attribute | str],
         key: Iterable[str] | str | None = None,
+        span: "SourceSpan | None" = None,
     ):
         if not name:
             raise SchemaError("relation name must be non-empty")
         self.name = name
+        self.span = span  # DSL declaration site; not part of equality
         attrs: list[Attribute] = []
         for a in attributes:
             attrs.append(Attribute(a) if isinstance(a, str) else a)
@@ -183,23 +196,25 @@ class Schema:
             self._check_foreign_key(fk)
             pos = (fk.relation, fk.attribute)
             if pos in self._fk_index:
-                raise SchemaError(f"duplicate foreign key on {fk.relation}.{fk.attribute}")
+                from ..analysis.schema_lint import duplicate_foreign_key_diagnostic
+
+                raise SchemaError(
+                    f"duplicate foreign key on {fk.relation}.{fk.attribute}",
+                    diagnostic=duplicate_foreign_key_diagnostic(fk),
+                )
             self._fk_index[pos] = fk
 
     def _check_foreign_key(self, fk: ForeignKey) -> None:
-        if fk.relation not in self.relations:
-            raise SchemaError(f"foreign key {fk} from unknown relation {fk.relation!r}")
-        if fk.referenced not in self.relations:
-            raise SchemaError(f"foreign key {fk} to unknown relation {fk.referenced!r}")
-        rel = self.relations[fk.relation]
-        if not rel.has_attribute(fk.attribute):
-            raise SchemaError(f"foreign key {fk}: {fk.relation} has no attribute {fk.attribute!r}")
-        target = self.relations[fk.referenced]
-        if not target.has_simple_key:
-            raise SchemaError(
-                f"foreign key {fk}: referenced relation {fk.referenced} has a composite key; "
-                "the paper restricts foreign keys to reference simple keys"
-            )
+        """Raise on the first structural defect, carrying its diagnostic.
+
+        Routed through :func:`repro.analysis.schema_lint.foreign_key_diagnostics`
+        so constructor raises and the linter agree on codes and messages.
+        """
+        from ..analysis.schema_lint import foreign_key_diagnostics
+
+        found = foreign_key_diagnostics(self.relations, fk)
+        if found:
+            raise SchemaError(found[0].message, diagnostic=found[0])
 
     # -- queries ---------------------------------------------------------
 

@@ -87,6 +87,32 @@ class ValidationReport:
     def __len__(self) -> int:
         return len(self.all_violations())
 
+    def diagnostics(self) -> list:
+        """The violations as structured ``INS*`` diagnostics.
+
+        ``INS001`` per null violation, ``INS002`` per key violation,
+        ``INS003`` per foreign-key violation (see :mod:`repro.analysis`).
+        """
+        from ..analysis.diagnostics import diagnostic
+
+        found = [
+            diagnostic(
+                "INS001", str(item), subject=f"{item.relation}.{item.attribute}"
+            )
+            for item in self.null_violations
+        ]
+        found.extend(
+            diagnostic("INS002", str(item), subject=item.relation)
+            for item in self.key_violations
+        )
+        found.extend(
+            diagnostic(
+                "INS003", str(item), subject=f"{item.relation}.{item.attribute}"
+            )
+            for item in self.foreign_key_violations
+        )
+        return found
+
     def summary(self) -> str:
         if self.ok:
             return "instance satisfies all constraints"

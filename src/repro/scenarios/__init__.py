@@ -8,8 +8,28 @@ __all__ = [
     "appendix_a",
     "appendix_b",
     "appendix_c",
+    "bundled_problems",
     "cars",
     "composite",
     "publications",
     "synthetic",
 ]
+
+
+def bundled_problems():
+    """Every bundled :class:`~repro.core.pipeline.MappingProblem` by name.
+
+    The figures of the paper body, the Appendix A examples, the Appendix C
+    examples, and the composite-key / publications scenarios — everything
+    ``repro lint --all-scenarios`` checks in CI.
+    """
+    problems = dict(cars.all_problems())
+    for label, factory in appendix_a.ALL_EXAMPLES.items():
+        problems[f"appendix-{label}"] = factory()
+    problems["appendix-c4"] = appendix_c.example_c4_problem()
+    problems["example-6-6"] = appendix_c.example_6_6_problem()
+    problems["example-6-7"] = appendix_c.example_6_7_problem()
+    problems["enrollment"] = composite.enrollment_problem()
+    problems["composite-skolem"] = composite.composite_skolem_problem()
+    problems["publications"] = publications.digest_problem()
+    return problems

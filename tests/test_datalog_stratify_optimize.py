@@ -4,7 +4,7 @@ import pytest
 
 from repro.datalog.optimize import remove_subsumed_rules, subsumes_rule
 from repro.datalog.program import DatalogProgram, Rule
-from repro.datalog.stratify import dependencies, stratify
+from repro.datalog.stratify import dependencies, find_recursion_cycle, stratify
 from repro.errors import DatalogError
 from repro.logic.atoms import RelationalAtom
 from repro.logic.terms import Variable
@@ -66,6 +66,48 @@ class TestStratify:
         )
         with pytest.raises(DatalogError):
             stratify(program)
+
+    def test_cycle_error_names_the_closing_rule(self):
+        x = V("x")
+        a_from_b = _rule(RelationalAtom("A", (x,)), RelationalAtom("B", (x,)))
+        b_from_a = _rule(RelationalAtom("B", (x,)), RelationalAtom("A", (x,)))
+        program = DatalogProgram(rules=[a_from_b, b_from_a])
+        with pytest.raises(DatalogError) as info:
+            stratify(program)
+        message = str(info.value)
+        assert "closed by rule" in message
+        assert info.value.diagnostic is not None
+        assert info.value.diagnostic.code == "DLG002"
+
+    def test_find_recursion_cycle_returns_witness(self):
+        x = V("x")
+        a_from_b = _rule(RelationalAtom("A", (x,)), RelationalAtom("B", (x,)))
+        b_from_a = _rule(RelationalAtom("B", (x,)), RelationalAtom("A", (x,)))
+        program = DatalogProgram(rules=[a_from_b, b_from_a])
+        found = find_recursion_cycle(program)
+        assert found is not None
+        cycle, closing_rule = found
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"A", "B"}
+        assert closing_rule in (a_from_b, b_from_a)
+        # The witness search must not consume the program.
+        assert find_recursion_cycle(program) == found
+
+    def test_find_recursion_cycle_none_on_acyclic(self, figure1_problem):
+        from repro.core.pipeline import MappingSystem
+
+        program = MappingSystem(figure1_problem).transformation
+        assert find_recursion_cycle(program) is None
+
+    def test_self_recursion_detected(self):
+        x = V("x")
+        loop = _rule(RelationalAtom("A", (x,)), RelationalAtom("A", (x,)))
+        program = DatalogProgram(rules=[loop])
+        found = find_recursion_cycle(program)
+        assert found is not None
+        cycle, closing_rule = found
+        assert cycle == ["A", "A"]
+        assert closing_rule == loop
 
 
 class TestRuleSubsumption:

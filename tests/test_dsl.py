@@ -170,3 +170,119 @@ class TestRenderer:
         assert second == "fP2(y)"
         # Stable across calls.
         assert abbreviator.shorten("f_person@m1(z)") == "fP(z)"
+
+
+class TestStripComment:
+    def test_plain_comment(self):
+        from repro.dsl.parser import _strip_comment
+
+        assert _strip_comment("relation R (a)  # trailing") == "relation R (a)"
+        assert _strip_comment("# whole line") == ""
+
+    def test_hash_inside_quoted_value_is_literal(self):
+        from repro.dsl.parser import _strip_comment
+
+        assert _strip_comment("P3: ('#tag', x)") == "P3: ('#tag', x)"
+        assert (
+            _strip_comment("A.a -> B.b where A.a != '#1'  # note")
+            == "A.a -> B.b where A.a != '#1'"
+        )
+
+    def test_hash_after_closed_quote_is_a_comment(self):
+        from repro.dsl.parser import _strip_comment
+
+        assert _strip_comment("P3: ('v') # gone") == "P3: ('v')"
+
+    def test_quoted_hash_survives_instance_parsing(self, cars3):
+        instance = parse_instance("P3: (p1, '#1', e1)  # comment", cars3)
+        assert ("p1", "#1", "e1") in instance.relation("P3")
+
+    def test_quoted_hash_survives_filter_parsing(self):
+        text = PROBLEM_TEXT.replace(
+            "P3.name -> P2.name [p2]",
+            "P3.name -> P2.name where P3.name != '#MJ' [p2]",
+        )
+        problem = parse_problem(text)
+        filtered = [c for c in problem.correspondences if c.label == "p2"]
+        assert len(filtered) == 1
+        assert filtered[0].filters[0].value == "#MJ"
+
+
+class TestSourceSpans:
+    def test_relation_and_attribute_spans(self):
+        problem = parse_problem(PROBLEM_TEXT, file="cars.problem.txt")
+        relation = problem.source_schema.relation("P3")
+        assert relation.span is not None
+        assert relation.span.file == "cars.problem.txt"
+        assert relation.span.line == 4
+        assert relation.attribute("name").span.line == 4
+
+    def test_foreign_key_spans(self):
+        problem = parse_problem(PROBLEM_TEXT, file="cars.problem.txt")
+        fk = problem.source_schema.foreign_key_from("O3", "car")
+        assert fk.span is not None and fk.span.line == 6
+
+    def test_correspondence_spans(self):
+        problem = parse_problem(PROBLEM_TEXT, file="cars.problem.txt")
+        first = problem.correspondences[0]
+        assert first.span is not None
+        assert first.span.line == 13
+        assert str(first.span) == "cars.problem.txt:13"
+
+    def test_spans_do_not_break_equality(self):
+        with_file = parse_problem(PROBLEM_TEXT, file="a.txt")
+        without = parse_problem(PROBLEM_TEXT)
+        assert (
+            with_file.source_schema.relation("P3").attributes
+            == without.source_schema.relation("P3").attributes
+        )
+
+
+class TestParseProblemLenient:
+    def test_clean_input_has_no_diagnostics(self):
+        from repro.dsl.parser import parse_problem_lenient
+
+        problem, found = parse_problem_lenient(PROBLEM_TEXT)
+        assert found == []
+        assert len(problem.correspondences) == 7
+
+    def test_bad_foreign_key_dropped_and_reported(self):
+        from repro.dsl.parser import parse_problem_lenient
+
+        text = PROBLEM_TEXT.replace(
+            "relation C3 (car key, model)",
+            "relation C3 (car key, model -> Nowhere)",
+        )
+        problem, found = parse_problem_lenient(text, file="t.txt")
+        assert [d.code for d in found] == ["SCH001"]
+        assert found[0].span.line == 5
+        assert problem.source_schema.foreign_key_from("C3", "model") is None
+
+    def test_bad_correspondence_dropped_and_reported(self):
+        from repro.dsl.parser import parse_problem_lenient
+
+        text = PROBLEM_TEXT.replace(
+            "C3.model -> C2.model [c2]", "C3.nope -> C2.model [c2]"
+        )
+        problem, found = parse_problem_lenient(text)
+        assert [d.code for d in found] == ["MAP004"]
+        assert found[0].span.line == 17
+        assert len(problem.correspondences) == 6
+
+    def test_syntax_error_still_raises(self):
+        from repro.dsl.parser import parse_problem_lenient
+
+        with pytest.raises(ParseError):
+            parse_problem_lenient("source schema S:\n  what is this")
+
+
+class TestInstanceQuoting:
+    def test_quoted_values_are_unquoted(self, cars3):
+        instance = parse_instance("C3: ('c1', 'model A')", cars3)
+        assert ("c1", "model A") in instance.relation("C3")
+
+    def test_quoted_null_is_the_string_null(self, cars2):
+        instance = parse_instance("C2: (c1, m, 'null')", cars2)
+        assert ("c1", "m", "null") in instance.relation("C2")
+        plain = parse_instance("C2: (c1, m, null)", cars2)
+        assert ("c1", "m", NULL) in plain.relation("C2")

@@ -93,6 +93,21 @@ def test_pipeline_is_safe_on_random_problems(problem, source):
 
 
 @settings(max_examples=40, deadline=None)
+@given(problems(), instances())
+def test_subsumption_optimization_preserves_semantics(problem, source):
+    """``remove_subsumed_rules`` must never change what the engine computes."""
+    try:
+        optimized = MappingSystem(problem, optimize=True)
+        plain = MappingSystem(problem, optimize=False)
+        optimized_output = optimized.transform(source)
+        plain_output = plain.transform(source)
+    except (NonFunctionalMappingError, HardKeyConflictError):
+        return  # the paper's "signal an error and stop" — a valid outcome
+    assert len(optimized.transformation.rules) <= len(plain.transformation.rules)
+    assert optimized_output == plain_output
+
+
+@settings(max_examples=40, deadline=None)
 @given(problems())
 def test_generation_is_deterministic(problem):
     def signature():
