@@ -11,7 +11,12 @@ The public surface:
 * the diagnostics vocabulary — :class:`Diagnostic`, :class:`SourceSpan`,
   :class:`AnalysisReport`, the ``CODES`` registry and the severity
   constants;
-* :func:`to_sarif` / :func:`to_sarif_json` — SARIF 2.1.0 serialization.
+* :func:`to_sarif` / :func:`to_sarif_json` — SARIF 2.1.0 serialization;
+* the semantic analyzer (:mod:`repro.analysis.semantic`) — chase-based
+  containment (:func:`contained_in`, :func:`equivalent`), mapping/program
+  minimization (:func:`minimize_program`,
+  :func:`minimize_unitary_mappings`) and the differential optimizer
+  verifier (:func:`verify_system`).
 
 See ``docs/ANALYSIS.md`` for the code reference.
 
@@ -44,6 +49,15 @@ _EXPORTS = {
     "quick_lint": ".analyzer",
     "to_sarif": ".sarif",
     "to_sarif_json": ".sarif",
+    "ContainmentEngine": ".semantic",
+    "ConjunctiveQuery": ".semantic",
+    "Witness": ".semantic",
+    "contained_in": ".semantic",
+    "equivalent": ".semantic",
+    "minimize_program": ".semantic",
+    "minimize_unitary_mappings": ".semantic",
+    "verify_system": ".semantic",
+    "VerificationReport": ".semantic",
 }
 
 __all__ = sorted(_EXPORTS)
@@ -67,6 +81,17 @@ if TYPE_CHECKING:  # pragma: no cover
     from .mapping_lint import lint_mapping
     from .sarif import to_sarif, to_sarif_json
     from .schema_lint import lint_schema
+    from .semantic import (
+        ConjunctiveQuery,
+        ContainmentEngine,
+        VerificationReport,
+        Witness,
+        contained_in,
+        equivalent,
+        minimize_program,
+        minimize_unitary_mappings,
+        verify_system,
+    )
 
 
 def __getattr__(name: str):

@@ -119,6 +119,23 @@ CODES: dict[str, CodeInfo] = {
                  "key."),
         CodeInfo("PRS001", "parse error", ERROR, "§4",
                  "The DSL input could not be parsed."),
+        CodeInfo("SEM001", "semantically subsumed rule", WARNING, "§6",
+                 "A generated Datalog rule is provably contained in another "
+                 "rule for the same relation (chase witness attached); "
+                 "removing it cannot change the program's output."),
+        CodeInfo("SEM002", "semantically subsumed unitary mapping", WARNING,
+                 "§5",
+                 "A unitary mapping's query is provably contained in another "
+                 "mapping's query — the semantic generalization of the "
+                 "paper's subsumption / implication pruning."),
+        CodeInfo("SEM003", "optimizer changed program semantics", ERROR, "§6",
+                 "A rule dropped by query optimization has no containment "
+                 "certificate, or the optimized program disagrees with the "
+                 "unoptimized one on a canonical instance."),
+        CodeInfo("SEM004", "resolution certificate failure", ERROR, "§6",
+                 "Key-conflict resolution produced a program that violates a "
+                 "target key on a canonical instance, or rewrote a mapping "
+                 "beyond negation-disabling and functor renaming."),
     )
 }
 
@@ -133,6 +150,8 @@ class Diagnostic:
     span: SourceSpan | None = None
     subject: str = ""  # e.g. "O3.person", "rule C2(...) <- ...", "figure-1"
     section: str = ""
+    #: For SEM* findings: the rendered containment witness (homomorphism).
+    witness: str = ""
 
     @property
     def title(self) -> str:
@@ -146,7 +165,10 @@ class Diagnostic:
         """One text line: ``file:line: CODE severity: message [§n]``."""
         prefix = f"{self.span}: " if self.span else ""
         section = f" [{self.section}]" if self.section else ""
-        return f"{prefix}{self.code} {self.severity}: {self.message}{section}"
+        witness = f" witness {self.witness}" if self.witness else ""
+        return (
+            f"{prefix}{self.code} {self.severity}: {self.message}{witness}{section}"
+        )
 
     def __str__(self) -> str:
         return self.render()
@@ -159,6 +181,7 @@ def diagnostic(
     span: SourceSpan | None = None,
     subject: str = "",
     severity: str | None = None,
+    witness: str = "",
 ) -> Diagnostic:
     """Build a :class:`Diagnostic`, defaulting severity/section from ``CODES``.
 
@@ -178,6 +201,7 @@ def diagnostic(
         span=span,
         subject=subject,
         section=info.section,
+        witness=witness,
     )
 
 

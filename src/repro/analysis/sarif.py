@@ -81,8 +81,13 @@ def _result(item: Diagnostic, rule_index: dict[str, int]) -> dict:
         result["ruleIndex"] = index
     if item.span is not None:
         result["locations"] = [_location(item.span)]
+    properties: dict = {}
     if item.subject:
-        result["properties"] = {"subject": item.subject}
+        properties["subject"] = item.subject
+    if item.witness:
+        properties["witness"] = item.witness
+    if properties:
+        result["properties"] = properties
     return result
 
 

@@ -1,0 +1,782 @@
+"""Chase-based containment of conjunctive queries with Skolem terms.
+
+The classical result (Chandra–Merlin, extended to data exchange by Calì &
+Torlone, "Containment of Schema Mappings for Data Exchange"): ``Q1 ⊆ Q2``
+iff there is a homomorphism from ``Q2``'s body into the *canonical instance*
+of ``Q1`` — ``Q1``'s body with every variable frozen into a distinct fresh
+constant — that maps ``Q2``'s head onto ``Q1``'s frozen head.
+
+This module implements that test for the conjunctive queries this code base
+actually produces: partial-tableau queries (§5), Datalog rules with Skolem
+functor heads and safe negation (§6), and unitary mappings.  Extensions
+beyond the textbook case are handled *conservatively* — a ``None`` answer
+means "not provably contained", never "provably not contained" — so every
+positive answer is a sound certificate:
+
+* null / non-null conditions freeze into marks on the canonical constants;
+  a condition of the candidate container must map onto a compatibly marked
+  value (cf. the condition-aware embeddings of :mod:`repro.core.pruning`);
+* equalities are internalized by union-find before freezing; the container's
+  residual equalities are verified per homomorphism;
+* disequalities of the container must be *entailed* by the frozen instance
+  (distinct ground constants, an explicit disequality of the contained
+  query, a null vs. non-null split, or distinct Skolem functors — invented
+  values from distinct functors have disjoint ranges, §6);
+* negated atoms are compared as opaque subqueries: every negation required
+  by the container must already be required (under the homomorphism) by the
+  contained query;
+* an unsatisfiable contained query (contradictory conditions) is contained
+  in everything — the witness is marked ``vacuous``.
+
+Canonical instances are memoized per query object and containment verdicts
+are cached under frozen structural signatures, so repeated checks over the
+same shapes (the minimizer, the verifier, property tests) are near-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ...datalog.program import Rule
+from ...logic.atoms import Disequality, Equality, NegatedPremise, RelationalAtom
+from ...logic.homomorphism import iter_homomorphisms
+from ...logic.mappings import LogicalMapping, UnitaryMapping
+from ...logic.tableau import PartialTableau
+from ...logic.terms import (
+    Constant,
+    NullTerm,
+    SkolemTerm,
+    Term,
+    Variable,
+    term_variables,
+)
+from ...obs import count
+
+#: Upper bound on homomorphisms examined per containment check; beyond it the
+#: answer degrades to the conservative "not provably contained".
+MAX_WITNESS_CANDIDATES = 10_000
+
+#: ``(null_vars, nonnull_vars)`` conditions on a mapping's consequent
+#: variables (see :meth:`ContainmentEngine.mapping_implies`).
+ConsequentConditions = tuple[frozenset[Variable], frozenset[Variable]]
+
+_NO_CONDITIONS: ConsequentConditions = (frozenset(), frozenset())
+
+
+@dataclass(frozen=True)
+class FrozenValue(Term):
+    """A canonical-instance constant: one per equivalence class of variables.
+
+    Carries the class's null / non-null mark so condition compatibility can
+    be decided locally during the homomorphism search.  Equality is by value,
+    so two freezes of structurally equal queries agree.
+    """
+
+    index: int
+    name: str
+    null: bool = False
+    nonnull: bool = False
+
+    def __repr__(self) -> str:
+        mark = "=null" if self.null else ("!=null" if self.nonnull else "")
+        return f"<{self.name}#{self.index}{mark}>"
+
+
+def _is_null_like(term: Term) -> bool:
+    """Guaranteed to denote the null value in every instantiation."""
+    return isinstance(term, NullTerm) or (isinstance(term, FrozenValue) and term.null)
+
+
+def _is_nonnull_like(term: Term) -> bool:
+    """Guaranteed to denote a non-null value in every instantiation."""
+    if isinstance(term, (Constant, SkolemTerm)):
+        return True
+    return isinstance(term, FrozenValue) and term.nonnull
+
+
+def _terms_agree(left: Term, right: Term) -> bool:
+    """Equality of frozen terms, identifying all guaranteed-null terms."""
+    if left == right:
+        return True
+    return _is_null_like(left) and _is_null_like(right)
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A containment certificate: the homomorphism, rendered.
+
+    ``kind`` is ``"homomorphism"`` for the standard chase witness,
+    ``"vacuous"`` when the contained query is unsatisfiable, and ``"chase"``
+    for mapping-implication witnesses (premise images plus consequent
+    embedding).
+    """
+
+    kind: str
+    mapping: tuple[tuple[str, str], ...] = ()
+
+    def render(self) -> str:
+        if self.kind == "vacuous":
+            return "vacuous (unsatisfiable premise)"
+        inner = ", ".join(f"{var} -> {image}" for var, image in self.mapping)
+        return "{" + inner + "}"
+
+    def __repr__(self) -> str:
+        return f"Witness({self.kind}: {self.render()})"
+
+
+@dataclass
+class ConjunctiveQuery:
+    """A conjunctive query ``head_label(head) ← atoms, conditions, ¬negated``.
+
+    ``head`` terms may be variables, constants, ``null`` or Skolem terms;
+    ``negated`` atoms are treated as opaque subquery references (two queries
+    agree on a negation iff the atoms coincide under the homomorphism).
+    """
+
+    head_label: str
+    head: tuple[Term, ...]
+    atoms: tuple[RelationalAtom, ...]
+    null_vars: frozenset[Variable] = frozenset()
+    nonnull_vars: frozenset[Variable] = frozenset()
+    equalities: tuple[Equality, ...] = ()
+    disequalities: tuple[Disequality, ...] = ()
+    negated: tuple[RelationalAtom, ...] = ()
+
+    _frozen: "CanonicalInstance | None" = field(
+        default=None, repr=False, compare=False
+    )
+    _signature: tuple | None = field(default=None, repr=False, compare=False)
+
+    def variables(self) -> list[Variable]:
+        terms: list[Term] = [t for atom in self.atoms for t in atom.terms]
+        terms.extend(self.head)
+        return term_variables(terms)
+
+    # -- structural signature (cache key) ---------------------------------
+
+    def signature(self) -> tuple:
+        """Canonical encoding identifying the query up to variable renaming."""
+        if self._signature is not None:
+            return self._signature
+        var_ids: dict[Variable, int] = {}
+
+        def encode(term: Term) -> object:
+            if isinstance(term, Variable):
+                if term not in var_ids:
+                    var_ids[term] = len(var_ids)
+                marks = (term in self.null_vars, term in self.nonnull_vars)
+                return ("v", var_ids[term], marks)
+            if isinstance(term, SkolemTerm):
+                return ("f", term.functor, tuple(encode(a) for a in term.args))
+            return ("t", repr(term))
+
+        sig = (
+            self.head_label,
+            tuple(encode(t) for t in self.head),
+            tuple(
+                (a.relation, tuple(encode(t) for t in a.terms)) for a in self.atoms
+            ),
+            tuple(
+                sorted(
+                    repr((encode(e.left), encode(e.right)))
+                    for e in self.equalities
+                )
+            ),
+            tuple(
+                sorted(
+                    repr(tuple(sorted((repr(encode(d.left)), repr(encode(d.right))))))
+                    for d in self.disequalities
+                )
+            ),
+            tuple(
+                sorted(
+                    repr((a.relation, tuple(encode(t) for t in a.terms)))
+                    for a in self.negated
+                )
+            ),
+        )
+        self._signature = sig
+        return sig
+
+    # -- canonical (frozen) instance --------------------------------------
+
+    def frozen(self) -> "CanonicalInstance":
+        """The memoized canonical instance of this query."""
+        if self._frozen is None:
+            self._frozen = _freeze(self)
+        return self._frozen
+
+
+@dataclass
+class CanonicalInstance:
+    """The frozen body of a query: its canonical database.
+
+    ``substitution`` maps each query variable to its frozen term;
+    ``diseq_pairs`` is the symmetric closure of the frozen disequalities
+    (as sorted repr pairs) used for entailment checks.
+    """
+
+    atoms: tuple[RelationalAtom, ...]
+    head: tuple[Term, ...]
+    substitution: dict[Variable, Term]
+    diseq_pairs: frozenset[tuple[str, str]]
+    negated: frozenset[RelationalAtom]
+    unsatisfiable: bool = False
+
+
+def _freeze(query: ConjunctiveQuery) -> CanonicalInstance:
+    """Freeze a query into its canonical instance.
+
+    Variables are partitioned into classes by the query's equalities
+    (union-find); each class becomes one :class:`FrozenValue` carrying the
+    class's null / non-null mark, or collapses to a shared constant when an
+    equality pins it.  Contradictory constraints (null and non-null, null
+    and a constant, two distinct constants) make the query unsatisfiable.
+    """
+    variables = query.variables()
+    parent: dict[Variable, Variable] = {v: v for v in variables}
+
+    def find(v: Variable) -> Variable:
+        while parent[v] is not v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    def union(a: Variable, b: Variable) -> None:
+        ra, rb = find(a), find(b)
+        if ra is not rb:
+            parent[ra] = rb
+
+    pinned: dict[Variable, Term] = {}
+    unsatisfiable = False
+    for eq in query.equalities:
+        left, right = eq.left, eq.right
+        if isinstance(left, Variable) and isinstance(right, Variable):
+            if left in parent and right in parent:
+                union(left, right)
+        elif isinstance(left, Variable) and isinstance(right, (Constant, NullTerm)):
+            if left in parent:
+                pinned[left] = right
+        elif isinstance(right, Variable) and isinstance(left, (Constant, NullTerm)):
+            if right in parent:
+                pinned[right] = left
+        elif not isinstance(left, Variable) and not isinstance(right, Variable):
+            if not _terms_agree(left, right):
+                unsatisfiable = True
+        # Equalities involving Skolem terms are left residual: they constrain
+        # the query further, which is sound to ignore on the contained side.
+
+    classes: dict[Variable, list[Variable]] = {}
+    for v in variables:
+        classes.setdefault(find(v), []).append(v)
+
+    substitution: dict[Variable, Term] = {}
+    for index, (root, members) in enumerate(
+        sorted(classes.items(), key=lambda item: item[0].index)
+    ):
+        null_mark = any(m in query.null_vars for m in members)
+        nonnull_mark = any(m in query.nonnull_vars for m in members)
+        constants = {repr(pinned[m]) for m in members if m in pinned}
+        pin: Term | None = next(
+            (pinned[m] for m in members if m in pinned), None
+        )
+        if len(constants) > 1:
+            unsatisfiable = True
+        if pin is not None:
+            if isinstance(pin, NullTerm):
+                null_mark = True
+            else:
+                nonnull_mark = True
+        if null_mark and nonnull_mark:
+            unsatisfiable = True
+        if pin is not None and not unsatisfiable:
+            frozen_term: Term = pin
+        else:
+            representative = min(members, key=lambda m: m.index)
+            frozen_term = FrozenValue(
+                index, representative.name, null=null_mark, nonnull=nonnull_mark
+            )
+        for member in members:
+            substitution[member] = frozen_term
+
+    atoms = tuple(a.substitute(substitution) for a in query.atoms)
+    head = tuple(t.substitute(substitution) for t in query.head)
+    pairs: set[tuple[str, str]] = set()
+    for d in query.disequalities:
+        left = d.left.substitute(substitution)
+        right = d.right.substitute(substitution)
+        if _terms_agree(left, right):
+            unsatisfiable = True
+        key = tuple(sorted((repr(left), repr(right))))
+        pairs.add(key)  # type: ignore[arg-type]
+    negated = frozenset(a.substitute(substitution) for a in query.negated)
+    return CanonicalInstance(
+        atoms=atoms,
+        head=head,
+        substitution=substitution,
+        diseq_pairs=frozenset(pairs),
+        negated=negated,
+        unsatisfiable=unsatisfiable,
+    )
+
+
+# -- constructors ---------------------------------------------------------
+
+
+def cq_from_tableau(tableau: PartialTableau) -> ConjunctiveQuery:
+    """The query of a partial tableau: head = the root atom's terms.
+
+    Containment of tableau queries is the paper's sub-tableau relation made
+    semantic: rooted, so the root tuple's data flow is preserved.
+    """
+    return ConjunctiveQuery(
+        head_label=f"tableau:{tableau.root_relation}",
+        head=tuple(tableau.root_atom.terms),
+        atoms=tuple(tableau.atoms),
+        null_vars=frozenset(tableau.null_vars),
+        nonnull_vars=frozenset(tableau.nonnull_vars),
+    )
+
+
+def cq_from_rule(rule: Rule) -> ConjunctiveQuery:
+    """The query of a Datalog rule (head may hold Skolem terms and null)."""
+    return ConjunctiveQuery(
+        head_label=rule.head.relation,
+        head=tuple(rule.head.terms),
+        atoms=tuple(rule.body),
+        null_vars=frozenset(rule.null_vars),
+        nonnull_vars=frozenset(rule.nonnull_vars),
+        equalities=tuple(rule.equalities),
+        disequalities=tuple(rule.disequalities),
+        negated=tuple(rule.negated),
+    )
+
+
+_NEGATION_IDS: dict[tuple, int] = {}
+
+
+def _negation_pseudo_atom(negation: NegatedPremise) -> RelationalAtom:
+    """Encode a negated subquery as an opaque pseudo-atom over its key.
+
+    Two negations with the same structural signature get the same pseudo
+    relation (mirroring how query generation shares one ``tmp`` relation),
+    so the negation-as-subset check of the containment engine applies.
+    """
+    signature = negation.signature()
+    number = _NEGATION_IDS.setdefault(signature, len(_NEGATION_IDS))
+    return RelationalAtom(f"__neg{number}__", negation.correlated)
+
+
+def cq_from_unitary(mapping: UnitaryMapping) -> ConjunctiveQuery:
+    """The query of a unitary mapping: head = its single consequent atom."""
+    premise = mapping.premise
+    return ConjunctiveQuery(
+        head_label=mapping.consequent.relation,
+        head=tuple(mapping.consequent.terms),
+        atoms=tuple(premise.atoms),
+        null_vars=frozenset(premise.null_vars),
+        nonnull_vars=frozenset(premise.nonnull_vars),
+        equalities=tuple(premise.equalities),
+        disequalities=tuple(premise.disequalities),
+        negated=tuple(_negation_pseudo_atom(n) for n in premise.negated),
+    )
+
+
+# -- the engine -----------------------------------------------------------
+
+
+def _diseq_entailed(left: Term, right: Term, frozen: CanonicalInstance) -> bool:
+    """Is ``left ≠ right`` guaranteed by the frozen instance?"""
+    if isinstance(left, Constant) and isinstance(right, Constant):
+        return left != right
+    if (_is_null_like(left) and _is_nonnull_like(right)) or (
+        _is_null_like(right) and _is_nonnull_like(left)
+    ):
+        return True
+    if isinstance(left, SkolemTerm) and isinstance(right, SkolemTerm):
+        if left.functor != right.functor:
+            return True  # distinct functors have disjoint ranges (§6)
+    if isinstance(left, SkolemTerm) != isinstance(right, SkolemTerm):
+        if isinstance(left, (Constant, SkolemTerm)) and isinstance(
+            right, (Constant, SkolemTerm)
+        ):
+            return True  # invented values never equal source constants (§5)
+    key = tuple(sorted((repr(left), repr(right))))
+    return key in frozen.diseq_pairs
+
+
+def _seed_head(
+    fixed: dict[Variable, Term], pattern_term: Term, frozen_term: Term
+) -> bool:
+    """Pre-bind container head variables to the frozen head, structurally."""
+    if isinstance(pattern_term, Variable):
+        bound = fixed.get(pattern_term)
+        if bound is not None:
+            return _terms_agree(bound, frozen_term)
+        fixed[pattern_term] = frozen_term
+        return True
+    if isinstance(pattern_term, SkolemTerm):
+        if not isinstance(frozen_term, SkolemTerm):
+            return False
+        if pattern_term.functor != frozen_term.functor or len(
+            pattern_term.args
+        ) != len(frozen_term.args):
+            return False
+        return all(
+            _seed_head(fixed, p, f)
+            for p, f in zip(pattern_term.args, frozen_term.args)
+        )
+    return _terms_agree(pattern_term, frozen_term)
+
+
+class ContainmentEngine:
+    """Containment / equivalence checks with a frozen-signature cache."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, Witness | None] = {}
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def contained_in(
+        self, contained: ConjunctiveQuery, container: ConjunctiveQuery
+    ) -> Witness | None:
+        """A witness that ``contained ⊆ container``, or ``None``.
+
+        ``None`` is conservative: containment could not be *proved*.
+        """
+        count("semantic.checks")
+        key = (contained.signature(), container.signature())
+        if key in self._cache:
+            count("semantic.cache_hits")
+            return self._cache[key]
+        witness = self._contained_in(contained, container)
+        self._cache[key] = witness
+        return witness
+
+    def equivalent(
+        self, left: ConjunctiveQuery, right: ConjunctiveQuery
+    ) -> tuple[Witness, Witness] | None:
+        """Witnesses for both directions, or ``None``."""
+        forward = self.contained_in(left, right)
+        if forward is None:
+            return None
+        backward = self.contained_in(right, left)
+        if backward is None:
+            return None
+        return forward, backward
+
+    # -- internals --------------------------------------------------------
+
+    def _contained_in(
+        self, contained: ConjunctiveQuery, container: ConjunctiveQuery
+    ) -> Witness | None:
+        if contained.head_label != container.head_label:
+            return None
+        if len(contained.head) != len(container.head):
+            return None
+        frozen = contained.frozen()
+        if frozen.unsatisfiable:
+            count("semantic.vacuous")
+            return Witness(kind="vacuous")
+
+        fixed: dict[Variable, Term] = {}
+        for pattern_term, frozen_term in zip(container.head, frozen.head):
+            if not _seed_head(fixed, pattern_term, frozen_term):
+                return None
+        # Seeded bindings bypass the search's var_check: re-check conditions.
+        for var, image in fixed.items():
+            if var in container.null_vars and not _is_null_like(image):
+                return None
+            if var in container.nonnull_vars and not _is_nonnull_like(image):
+                return None
+
+        def var_check(var: Variable, image: Term) -> bool:
+            if var in container.null_vars:
+                return _is_null_like(image)
+            if var in container.nonnull_vars:
+                return _is_nonnull_like(image)
+            return True
+
+        examined = 0
+        for theta in iter_homomorphisms(
+            container.atoms, frozen.atoms, fixed=fixed, var_check=var_check
+        ):
+            examined += 1
+            if examined > MAX_WITNESS_CANDIDATES:
+                break
+            if self._verify(container, frozen, theta):
+                rendered = tuple(
+                    (repr(var), repr(image))
+                    for var, image in sorted(
+                        theta.items(), key=lambda item: item[0].index
+                    )
+                )
+                return Witness(kind="homomorphism", mapping=rendered)
+        return None
+
+    @staticmethod
+    def _verify(
+        container: ConjunctiveQuery,
+        frozen: CanonicalInstance,
+        theta: Mapping[Variable, Term],
+    ) -> bool:
+        """Side conditions the raw homomorphism search does not cover."""
+        for eq in container.equalities:
+            if not _terms_agree(eq.left.substitute(theta), eq.right.substitute(theta)):
+                return False
+        for d in container.disequalities:
+            if not _diseq_entailed(
+                d.left.substitute(theta), d.right.substitute(theta), frozen
+            ):
+                return False
+        for atom in container.negated:
+            if atom.substitute(theta) not in frozen.negated:
+                return False
+        for pattern_term, frozen_term in zip(container.head, frozen.head):
+            if not _terms_agree(pattern_term.substitute(theta), frozen_term):
+                return False
+        return True
+
+    # -- mapping implication (the chase over tgds) -------------------------
+
+    def mapping_implies(
+        self,
+        stronger: LogicalMapping | UnitaryMapping,
+        weaker: LogicalMapping | UnitaryMapping,
+        *,
+        stronger_consequent_conditions: ConsequentConditions | None = None,
+        weaker_consequent_conditions: ConsequentConditions | None = None,
+    ) -> Witness | None:
+        """A witness that ``stronger ⟹ weaker`` as s-t tgds, or ``None``.
+
+        The Calì–Torlone check: freeze the weaker premise into its canonical
+        database, fire the stronger mapping on it exhaustively (every
+        condition-respecting homomorphism, inventing one fresh value per
+        existential variable per firing), and look for the weaker consequent
+        among the produced target atoms — with the weaker's own source
+        variables held fixed at their frozen values.
+
+        The two ``*_consequent_conditions`` are ``(null_vars, nonnull_vars)``
+        pairs for consequent variables.  :class:`LogicalMapping` itself
+        carries no consequent conditions (section 5.2 drops them at mapping
+        generation), but candidate pruning happens *before* that and must
+        not confuse a ``p = null`` variant with its non-null extension, so
+        it passes the target-tableau conditions here.
+        """
+        count("semantic.checks")
+        strong_conditions = stronger_consequent_conditions or _NO_CONDITIONS
+        weak_conditions = weaker_consequent_conditions or _NO_CONDITIONS
+        weak_consequent = _consequent_atoms(weaker)
+        strong_consequent = _consequent_atoms(stronger)
+        weak_cq = _premise_query(weaker)
+        strong_cq = _premise_query(stronger)
+        key = (
+            "implies",
+            strong_cq.signature(),
+            _consequent_signature(strong_cq, strong_consequent, strong_conditions),
+            weak_cq.signature(),
+            _consequent_signature(weak_cq, weak_consequent, weak_conditions),
+        )
+        if key in self._cache:
+            count("semantic.cache_hits")
+            return self._cache[key]
+        witness = self._mapping_implies(
+            strong_cq,
+            strong_consequent,
+            weak_cq,
+            weak_consequent,
+            strong_conditions,
+            weak_conditions,
+        )
+        self._cache[key] = witness
+        return witness
+
+    def _mapping_implies(
+        self,
+        strong_cq: ConjunctiveQuery,
+        strong_consequent: tuple[RelationalAtom, ...],
+        weak_cq: ConjunctiveQuery,
+        weak_consequent: tuple[RelationalAtom, ...],
+        strong_conditions: ConsequentConditions,
+        weak_conditions: ConsequentConditions,
+    ) -> Witness | None:
+        frozen = weak_cq.frozen()
+        if frozen.unsatisfiable:
+            count("semantic.vacuous")
+            return Witness(kind="vacuous")
+
+        def var_check(var: Variable, image: Term) -> bool:
+            if var in strong_cq.null_vars:
+                return _is_null_like(image)
+            if var in strong_cq.nonnull_vars:
+                return _is_nonnull_like(image)
+            return True
+
+        strong_source = set(
+            term_variables(t for atom in strong_cq.atoms for t in atom.terms)
+        )
+        produced: list[RelationalAtom] = []
+        firings = 0
+        for theta in iter_homomorphisms(
+            strong_cq.atoms, frozen.atoms, var_check=var_check
+        ):
+            firings += 1
+            if firings > MAX_WITNESS_CANDIDATES:
+                break
+            if not self._verify_premise(strong_cq, frozen, theta):
+                continue
+            # Invent one fresh value per existential variable per firing.
+            # A null-conditioned existential freezes to a null-like value;
+            # everything else is a labeled (non-null) invented value.
+            strong_null, _strong_nonnull = strong_conditions
+            full = dict(theta)
+            for atom in strong_consequent:
+                for var in atom.variables():
+                    if var not in strong_source and var not in full:
+                        # (var.index, firing) is unique: no accidental fusion.
+                        full[var] = FrozenValue(
+                            var.index,
+                            f"invent@{firings}:{var.name}",
+                            null=var in strong_null,
+                            nonnull=var not in strong_null,
+                        )
+            produced.extend(atom.substitute(full) for atom in strong_consequent)
+        if not produced:
+            return None
+
+        weak_source = set(
+            term_variables(t for atom in weak_cq.atoms for t in atom.terms)
+        )
+        fixed = {
+            var: frozen.substitution[var]
+            for atom in weak_consequent
+            for var in atom.variables()
+            if var in weak_source
+        }
+        weak_null, weak_nonnull = weak_conditions
+
+        def weak_check(var: Variable, image: Term) -> bool:
+            if var in weak_null:
+                return _is_null_like(image)
+            if var in weak_nonnull:
+                return _is_nonnull_like(image)
+            return True
+
+        if any(not weak_check(var, image) for var, image in fixed.items()):
+            return None
+        theta = next(
+            iter_homomorphisms(
+                weak_consequent, tuple(produced), fixed=fixed, var_check=weak_check
+            ),
+            None,
+        )
+        if theta is None:
+            return None
+        rendered = tuple(
+            (repr(var), repr(image))
+            for var, image in sorted(theta.items(), key=lambda item: item[0].index)
+        )
+        return Witness(kind="chase", mapping=rendered)
+
+    @staticmethod
+    def _verify_premise(
+        premise_cq: ConjunctiveQuery,
+        frozen: CanonicalInstance,
+        theta: Mapping[Variable, Term],
+    ) -> bool:
+        """Conditions for one tgd firing on the canonical database."""
+        for eq in premise_cq.equalities:
+            if not _terms_agree(eq.left.substitute(theta), eq.right.substitute(theta)):
+                return False
+        for d in premise_cq.disequalities:
+            if not _diseq_entailed(
+                d.left.substitute(theta), d.right.substitute(theta), frozen
+            ):
+                return False
+        for atom in premise_cq.negated:
+            if atom.substitute(theta) not in frozen.negated:
+                return False
+        return True
+
+
+def _consequent_atoms(
+    mapping: LogicalMapping | UnitaryMapping,
+) -> tuple[RelationalAtom, ...]:
+    consequent = mapping.consequent
+    if isinstance(consequent, RelationalAtom):
+        return (consequent,)
+    return tuple(consequent)
+
+
+def _premise_query(mapping: LogicalMapping | UnitaryMapping) -> ConjunctiveQuery:
+    premise = mapping.premise
+    return ConjunctiveQuery(
+        head_label="premise",
+        head=(),
+        atoms=tuple(premise.atoms),
+        null_vars=frozenset(premise.null_vars),
+        nonnull_vars=frozenset(premise.nonnull_vars),
+        equalities=tuple(premise.equalities),
+        disequalities=tuple(premise.disequalities),
+        negated=tuple(_negation_pseudo_atom(n) for n in premise.negated),
+    )
+
+
+def _consequent_signature(
+    premise_cq: ConjunctiveQuery,
+    consequent: Sequence[RelationalAtom],
+    conditions: "ConsequentConditions" = (frozenset(), frozenset()),
+) -> tuple:
+    null_vars, nonnull_vars = conditions
+    helper = ConjunctiveQuery(
+        head_label="consequent",
+        head=tuple(t for atom in consequent for t in atom.terms),
+        atoms=premise_cq.atoms + tuple(consequent),
+        null_vars=frozenset(null_vars),
+        nonnull_vars=frozenset(nonnull_vars),
+    )
+    return helper.signature()
+
+
+# -- module-level default engine ------------------------------------------
+
+_DEFAULT_ENGINE = ContainmentEngine()
+
+
+def default_engine() -> ContainmentEngine:
+    return _DEFAULT_ENGINE
+
+
+def reset_default_engine() -> None:
+    """Drop the shared cache (tests; long-lived processes with many schemas)."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = ContainmentEngine()
+
+
+def contained_in(
+    contained: ConjunctiveQuery, container: ConjunctiveQuery
+) -> Witness | None:
+    return _DEFAULT_ENGINE.contained_in(contained, container)
+
+
+def equivalent(
+    left: ConjunctiveQuery, right: ConjunctiveQuery
+) -> tuple[Witness, Witness] | None:
+    return _DEFAULT_ENGINE.equivalent(left, right)
+
+
+def mapping_implies(
+    stronger: LogicalMapping | UnitaryMapping,
+    weaker: LogicalMapping | UnitaryMapping,
+    *,
+    stronger_consequent_conditions: ConsequentConditions | None = None,
+    weaker_consequent_conditions: ConsequentConditions | None = None,
+) -> Witness | None:
+    return _DEFAULT_ENGINE.mapping_implies(
+        stronger,
+        weaker,
+        stronger_consequent_conditions=stronger_consequent_conditions,
+        weaker_consequent_conditions=weaker_consequent_conditions,
+    )

@@ -1,0 +1,427 @@
+"""Differential verification of the pipeline's own rewrites.
+
+Two rewrite stages change a generated program after the mappings are fixed:
+the "standard query optimization" of Example 6.8
+(:func:`repro.datalog.optimize.remove_subsumed_rules`) and the soft
+key-conflict resolution of Algorithm 4 step 3
+(:func:`repro.core.resolution.resolve_key_conflicts`).  This module
+statically certifies both, per mapping problem:
+
+* **optimizer certificates** — every rule the optimizer drops must have a
+  chase containment witness into a kept rule of the same relation (or be a
+  dead intermediate); additionally the optimized and unoptimized programs
+  are evaluated *differentially* on canonical instances (one per rule's
+  frozen body, plus their union) and must produce identical targets.
+  Failures are ``SEM003`` errors.
+* **resolution certificates** — (a) each resolved non-fused mapping, with
+  its disabling negations stripped, must be equivalent to its pre-resolution
+  sibling modulo the reported Skolem functor renaming (resolution only
+  disables and renames — it never changes what a mapping copies); (b) the
+  final program, run on every canonical instance, must produce a target with
+  no key violations (the whole point of resolution).  Failures are
+  ``SEM004`` errors.
+
+The canonical instances are the frozen rule bodies: for each rule, every
+variable class becomes a distinct fresh constant (null-conditioned classes
+become ``NULL``).  The union instance is where resolution earns its keep —
+it satisfies several premises at once with per-rule-distinct keys, and the
+per-rule instances of fused mappings satisfy all member premises with
+*equal* keys, exercising the disabling negations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ...core.resolution import rename_functors_in_atom
+from ...core.schema_mapping import NOVEL
+from ...datalog.engine import evaluate
+from ...datalog.optimize import remove_subsumed_rules
+from ...datalog.program import DatalogProgram, Rule
+from ...errors import ReproError
+from ...logic.mappings import SchemaMapping, UnitaryMapping
+from ...logic.terms import Constant, NullTerm, Variable
+from ...model.instance import Instance
+from ...model.validation import validate_instance
+from ...model.values import NULL
+from ...obs import count, span
+from ..diagnostics import Diagnostic, diagnostic
+from .containment import ContainmentEngine, cq_from_rule, cq_from_unitary, default_engine
+
+
+@dataclass
+class VerificationCheck:
+    """One certificate: what was checked, whether it held, and the evidence."""
+
+    name: str
+    subject: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class VerificationReport:
+    """All certificates for one mapping problem."""
+
+    problem: str = ""
+    checks: list[VerificationCheck] = field(default_factory=list)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def failures(self) -> list[VerificationCheck]:
+        return [check for check in self.checks if not check.ok]
+
+    def summary(self) -> str:
+        good = sum(1 for c in self.checks if c.ok)
+        return f"{good}/{len(self.checks)} certificates hold"
+
+    def _record(
+        self, name: str, subject: str, ok: bool, detail: str = "", code: str = ""
+    ) -> None:
+        self.checks.append(VerificationCheck(name, subject, ok, detail))
+        count("verify.certificates")
+        if not ok:
+            count("verify.failures")
+            self.diagnostics.append(
+                diagnostic(code, detail or f"{name} failed for {subject}",
+                           subject=subject)
+            )
+
+
+# -- canonical instances ---------------------------------------------------
+
+
+def canonical_instances(program: DatalogProgram) -> list[tuple[str, Instance]]:
+    """Frozen per-rule source instances, plus their union, as ``(label, I)``.
+
+    Each rule's body atoms (over source relations) are instantiated with one
+    fresh constant per variable class — classes follow the rule's equalities,
+    null-conditioned classes become ``NULL`` — so rule ``i``'s instance
+    satisfies exactly the premises that embed into rule ``i``'s body.
+    """
+    schema = program.source_schema
+    assert schema is not None
+    labeled: list[tuple[str, Instance]] = []
+    union = Instance(schema)
+    source_relations = set(schema.relation_names())
+    for i, rule in enumerate(program.rules):
+        instance = Instance(schema)
+        values = _frozen_values(rule, prefix=f"r{i}", schema=schema)
+        if values is None:
+            continue  # unsatisfiable under the source fds: never fires
+        added = False
+        for atom in rule.body:
+            if atom.relation not in source_relations:
+                continue  # pragma: no cover - bodies are source atoms today
+            row = tuple(
+                values[term] if term in values else _ground(term)
+                for term in atom.terms
+            )
+            instance.add(atom.relation, row)
+            union.add(atom.relation, row)
+            added = True
+        if added and not validate_instance(instance).key_violations:
+            labeled.append((f"rule[{i}]:{rule.head_relation}", instance))
+    if not validate_instance(union).key_violations:
+        labeled.append(("union", union))
+    return labeled
+
+
+def _frozen_values(
+    rule: Rule, prefix: str, schema
+) -> dict[object, object] | None:
+    """One fresh value per variable class of the rule's body.
+
+    Classes follow the rule's equalities *closed under the source key
+    dependencies*: two body atoms over the same relation with equal key
+    classes must agree on every other position (a valid instance cannot
+    distinguish them — the instance-level analogue of the chase's fd rule,
+    which the fused premises of Example 6.6 rely on).  Returns ``None`` when
+    the closure pins one class to two distinct constants: the body is
+    unsatisfiable on valid instances.
+    """
+    variables = rule.body_variables()
+    parent = {v: v for v in variables}
+
+    def find(v: Variable) -> Variable:
+        while parent[v] is not v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    pinned: dict[Variable, object] = {}
+    unsatisfiable = False
+
+    def resolved(term: object) -> tuple:
+        if isinstance(term, Variable) and term in parent:
+            root = find(term)
+            if root in pinned:
+                return ("val", pinned[root])
+            return ("class", id(root))
+        return ("val", _ground(term))
+
+    def unify(left: object, right: object) -> bool:
+        """Merge two body positions' values; True if anything changed."""
+        nonlocal unsatisfiable
+        lv = isinstance(left, Variable) and left in parent
+        rv = isinstance(right, Variable) and right in parent
+        if lv and rv:
+            ra, rb = find(left), find(right)
+            if ra is rb:
+                return False
+            pa, pb = pinned.get(ra), pinned.get(rb)
+            if pa is not None and pb is not None and pa != pb:
+                unsatisfiable = True
+            parent[ra] = rb
+            if pa is not None:
+                pinned[rb] = pa
+            return True
+        if lv or rv:
+            var, ground = (left, right) if lv else (right, left)
+            value = _ground(ground)
+            root = find(var)
+            if root in pinned:
+                if pinned[root] != value:
+                    unsatisfiable = True
+                return False
+            pinned[root] = value
+            return True
+        if _ground(left) != _ground(right):
+            unsatisfiable = True
+        return False
+
+    for eq in rule.equalities:
+        if isinstance(eq.left, Variable) or isinstance(eq.right, Variable):
+            unify(eq.left, eq.right)
+        elif _ground(eq.left) != _ground(eq.right):
+            unsatisfiable = True
+
+    # Close under the source fds: same relation + equal keys => equal rows.
+    source_relations = set(schema.relation_names())
+    body = [a for a in rule.body if a.relation in source_relations]
+    changed = True
+    while changed and not unsatisfiable:
+        changed = False
+        for x in range(len(body)):
+            for y in range(x + 1, len(body)):
+                one, two = body[x], body[y]
+                if one.relation != two.relation:
+                    continue
+                key_positions = schema.relation(one.relation).key_positions()
+                if any(
+                    resolved(one.terms[p]) != resolved(two.terms[p])
+                    for p in key_positions
+                ):
+                    continue
+                for p in range(len(one.terms)):
+                    if p in key_positions:
+                        continue
+                    if unify(one.terms[p], two.terms[p]):
+                        changed = True
+    if unsatisfiable:
+        return None
+
+    null_roots = {find(v) for v in rule.null_vars if v in parent}
+    class_values: dict[Variable, object] = {}
+    values: dict[object, object] = {}
+    for v in variables:
+        root = find(v)
+        if root not in class_values:
+            if root in pinned:
+                class_values[root] = pinned[root]
+            elif root in null_roots:
+                class_values[root] = NULL
+            else:
+                class_values[root] = f"{prefix}.{root.name}#{len(class_values)}"
+        values[v] = class_values[root]
+    return values
+
+
+def _ground(term: object) -> object:
+    if isinstance(term, Constant):
+        return term.value
+    if isinstance(term, NullTerm):
+        return NULL
+    raise ReproError(  # pragma: no cover - rule bodies hold vars/constants/null
+        f"cannot ground body term {term!r} in a canonical instance"
+    )
+
+
+# -- the verifier ----------------------------------------------------------
+
+
+def verify_generation(
+    schema_mapping: SchemaMapping,
+    algorithm: str = NOVEL,
+    skolem_strategy: str | None = None,
+    propagate_unification: bool = True,
+    problem: str = "",
+    engine: ContainmentEngine | None = None,
+) -> VerificationReport:
+    """Certify the optimizer and resolution rewrites for one schema mapping.
+
+    Regenerates query generation without optimization, applies
+    ``remove_subsumed_rules`` itself, and certifies every difference.
+    """
+    from ...core.query_generation import generate_queries
+
+    engine = engine or default_engine()
+    report = VerificationReport(problem=problem)
+    with span("semantic.verify", problem=problem):
+        base = generate_queries(
+            schema_mapping,
+            algorithm=algorithm,
+            skolem_strategy=skolem_strategy,
+            optimize=False,
+            propagate_unification=propagate_unification,
+        )
+        unoptimized = base.program
+        optimized = remove_subsumed_rules(unoptimized)
+        _certify_optimizer(report, engine, unoptimized, optimized)
+        instances = canonical_instances(unoptimized)
+        _certify_differential(report, unoptimized, optimized, instances)
+        if base.resolution is not None:
+            _certify_resolution_rewrites(report, engine, base)
+            _certify_resolution_keys(report, optimized, instances)
+    return report
+
+
+def verify_system(system, engine: ContainmentEngine | None = None) -> VerificationReport:
+    """Certify a :class:`repro.core.pipeline.MappingSystem`'s rewrites."""
+    return verify_generation(
+        system.schema_mapping,
+        algorithm=system.algorithm,
+        skolem_strategy=system.skolem_strategy,
+        problem=system.problem.name,
+        engine=engine,
+    )
+
+
+def _certify_optimizer(
+    report: VerificationReport,
+    engine: ContainmentEngine,
+    unoptimized: DatalogProgram,
+    optimized: DatalogProgram,
+) -> None:
+    """Per-removed-rule containment certificates (``SEM003`` on failure)."""
+    kept_ids = {id(rule) for rule in optimized.rules}
+    kept = [rule for rule in unoptimized.rules if id(rule) in kept_ids]
+    referenced = {
+        atom.relation
+        for rule in kept
+        for atom in list(rule.body) + list(rule.negated)
+    }
+    kept_queries = [(rule, cq_from_rule(rule)) for rule in kept]
+    for index, rule in enumerate(unoptimized.rules):
+        if id(rule) in kept_ids:
+            continue
+        subject = f"rule[{index}]:{rule.head_relation}"
+        if (
+            rule.head_relation in unoptimized.intermediates
+            and rule.head_relation not in referenced
+        ):
+            report._record(
+                "optimizer:removed-rule", subject, True,
+                f"dead intermediate {rule.head_relation!r}: no kept rule "
+                f"reads it",
+            )
+            continue
+        query = cq_from_rule(rule)
+        witness = next(
+            (
+                (other, engine.contained_in(query, other_query))
+                for other, other_query in kept_queries
+                if other.head_relation == rule.head_relation
+                and engine.contained_in(query, other_query) is not None
+            ),
+            None,
+        )
+        if witness is None:
+            report._record(
+                "optimizer:removed-rule", subject, False,
+                f"optimizer dropped {rule!r} but no kept rule semantically "
+                f"contains it",
+                code="SEM003",
+            )
+        else:
+            other, w = witness
+            report._record(
+                "optimizer:removed-rule", subject, True,
+                f"contained in {other!r} via {w.render()}",
+            )
+
+
+def _certify_differential(
+    report: VerificationReport,
+    unoptimized: DatalogProgram,
+    optimized: DatalogProgram,
+    instances: list[tuple[str, Instance]],
+) -> None:
+    """Before/after evaluation on canonical instances (``SEM003``)."""
+    for label, instance in instances:
+        before = evaluate(unoptimized, instance).target
+        after = evaluate(optimized, instance).target
+        ok = before == after
+        report._record(
+            "optimizer:differential", label, ok,
+            "optimized and unoptimized programs agree"
+            if ok
+            else f"programs disagree on canonical instance {label}: "
+            f"unoptimized={before!r} optimized={after!r}",
+            code="SEM003",
+        )
+
+
+def _certify_resolution_rewrites(
+    report: VerificationReport, engine: ContainmentEngine, base
+) -> None:
+    """Resolution may only disable (negations) and rename functors (``SEM004``).
+
+    For each pre-resolution unitary mapping and its resolved counterpart
+    (positionally aligned), stripping the added negations and applying the
+    reported functor renaming must yield semantically equivalent queries.
+    """
+    renaming = base.resolution.functor_renaming
+    for index, original in enumerate(base.unitary):
+        resolved: UnitaryMapping = base.final[index]
+        subject = resolved.name or f"unitary[{index}]"
+        stripped = resolved.with_premise(
+            replace(resolved.premise, negated=())
+        )
+        renamed = original.with_consequent(
+            rename_functors_in_atom(original.consequent, renaming)
+        )
+        pair = engine.equivalent(cq_from_unitary(stripped), cq_from_unitary(renamed))
+        ok = pair is not None
+        report._record(
+            "resolution:rewrite", subject, ok,
+            f"resolved mapping (negations stripped) is equivalent to its "
+            f"pre-resolution form via {pair[0].render()}"
+            if ok
+            else f"resolution changed mapping {subject} beyond disabling / "
+            f"renaming: {original!r} became {resolved!r}",
+            code="SEM004",
+        )
+
+
+def _certify_resolution_keys(
+    report: VerificationReport,
+    program: DatalogProgram,
+    instances: list[tuple[str, Instance]],
+) -> None:
+    """The resolved program must respect target keys on canonical instances."""
+    for label, instance in instances:
+        target = evaluate(program, instance).target
+        violations = validate_instance(target).key_violations
+        ok = not violations
+        report._record(
+            "resolution:keys", label, ok,
+            "no key violations on the canonical instance"
+            if ok
+            else f"resolved program violates target keys on {label}: "
+            + "; ".join(str(v) for v in violations),
+            code="SEM004",
+        )

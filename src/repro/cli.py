@@ -16,6 +16,9 @@ Usage (after installation, via ``python -m repro``):
 * ``python -m repro query problem.txt instance.txt "(c, n) <- C2(c,m,p), P2(p,n,e)"``
   — transform, then answer a conjunctive query over the target
   (``--certain`` for certain answers);
+* ``python -m repro minimize problem.txt`` (or ``--scenario NAME``) —
+  semantically minimize the generated transformation via chase-based
+  containment and print the removal witnesses;
 * ``python -m repro reproduce`` — re-run every figure/example of the paper
   and print the paper-vs-measured verdict table.
 
@@ -71,6 +74,8 @@ def _system(args, force_trace: bool = False) -> MappingSystem:
         algorithm=args.algorithm,
         optimize=not args.no_optimize,
         trace=force_trace or _wants_trace(args),
+        semantic_pruning=getattr(args, "semantic_pruning", False),
+        verify_optimizations=getattr(args, "verify_optimizations", False),
     )
 
 
@@ -129,7 +134,62 @@ def cmd_run(args) -> int:
 
 
 def cmd_explain(args) -> int:
+    if args.why_pruned:
+        return _why_pruned(_system(args), args.why_pruned)
     print(explain(_system(args, force_trace=True)))
+    return 0
+
+
+def _why_pruned(system: MappingSystem, name: str) -> int:
+    """Explain one prune decision: the syntactic record plus, when one
+    exists, the chase-based containment witness certifying it."""
+    from .core.pruning import (
+        semantic_implication_witness,
+        semantic_subsumption_witnesses,
+    )
+
+    report = system.schema_mapping_result().report
+    record = next((p for p in report.pruned if p.name == name), None)
+    if record is None:
+        pruned_names = ", ".join(sorted({p.name for p in report.pruned})) or "none"
+        print(
+            f"error: no pruned candidate named {name!r} "
+            f"(pruned: {pruned_names})",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"{record.name}: {record.description}")
+    print(f"  rule:   {record.rule}")
+    print(f"  reason: {record.reason}")
+    if record.by is None:
+        print("  no subsuming candidate: pruned on its own structure; "
+              "containment witnesses do not apply")
+        return 0
+    candidates = {c.name: c for c in report.candidates}
+    pruned_candidate = candidates.get(name)
+    by_candidate = candidates.get(record.by)
+    if pruned_candidate is None or by_candidate is None:
+        print("  witness: unavailable (candidate pruned before the "
+              "candidate-generation report)")
+        return 0
+    if record.rule == "implication":
+        witness = semantic_implication_witness(by_candidate, pruned_candidate)
+        if witness is not None:
+            print(f"  containment witness ({record.by} implies {name}):")
+            for line in witness.render().splitlines():
+                print(f"    {line}")
+            return 0
+    else:
+        witnesses = semantic_subsumption_witnesses(by_candidate, pruned_candidate)
+        if witnesses is not None:
+            source, target = witnesses
+            print(f"  containment witnesses ({name}'s covered flows are "
+                  f"contained in {record.by}'s):")
+            print(f"    source side: {source.render()}")
+            print(f"    target side: {target.render()}")
+            return 0
+    print("  witness: syntactic only (the chase-based engine found no "
+          "containment certificate)")
     return 0
 
 
@@ -160,6 +220,63 @@ def cmd_reproduce(_args) -> int:
     results = reproduce_all()
     print(render_reproduction_table(results))
     return 1 if any(r.verdict == "FAIL" for r in results) else 0
+
+
+def cmd_minimize(args) -> int:
+    """Semantically minimize a problem's transformation.
+
+    Generates the program *without* the syntactic optimizer, removes every
+    rule provably contained in another rule (chase witnesses printed), flags
+    subsumed unitary mappings, and prints the minimized program.
+    """
+    from .analysis.semantic.minimize import (
+        mapping_diagnostics,
+        minimize_program,
+        minimize_unitary_mappings,
+    )
+
+    if args.scenario:
+        from . import scenarios
+
+        bundled = scenarios.bundled_problems()
+        if args.scenario not in bundled:
+            print(
+                f"error: unknown scenario {args.scenario!r}; "
+                f"available: {', '.join(sorted(bundled))}",
+                file=sys.stderr,
+            )
+            return 2
+        problem = bundled[args.scenario]
+    elif args.problem:
+        problem = _load_problem(args.problem)
+    else:
+        print("error: pass a problem file or --scenario NAME", file=sys.stderr)
+        return 2
+
+    system = MappingSystem(
+        problem, algorithm=args.algorithm, optimize=args.syntactic_first
+    )
+    result = system.query_result()
+    minimized = minimize_program(result.program)
+
+    print(f"# {problem.name}: semantic minimization "
+          f"({'after' if args.syntactic_first else 'without'} the syntactic "
+          f"optimizer)")
+    if minimized.removed:
+        print(f"removed {len(minimized.removed)} rule(s):")
+        for item in minimized.diagnostics():
+            print(f"  {item.render()}")
+    else:
+        print("no removable rules: the program is already minimal")
+    flagged = minimize_unitary_mappings(result.final)
+    if flagged:
+        print(f"subsumed unitary mapping(s): {len(flagged)}")
+        for item in mapping_diagnostics(flagged):
+            print(f"  {item.render()}")
+    print()
+    print("# minimized transformation")
+    print(render_program(minimized.program, shorten=not args.long_names))
+    return 0
 
 
 def cmd_lint(args) -> int:
@@ -205,6 +322,15 @@ def cmd_lint(args) -> int:
     reports: list[AnalysisReport] = []
     for name, problem, parse_diags in subjects:
         report = analyze(problem, deep=not args.no_deep, algorithm=args.algorithm)
+        if args.semantic or args.verify_optimizations:
+            report.extend(
+                _semantic_lint(
+                    problem,
+                    algorithm=args.algorithm,
+                    semantic=args.semantic,
+                    verify=args.verify_optimizations,
+                )
+            )
         # Lenient parsing and re-linting the built schema can both see the
         # same defect (e.g. SCH010); keep one copy of each finding.
         merged = AnalysisReport(subject=name)
@@ -247,6 +373,29 @@ def cmd_lint(args) -> int:
     return 1 if failing else 0
 
 
+def _semantic_lint(problem, algorithm: str, semantic: bool, verify: bool) -> list:
+    """The opt-in semantic lint pass: SEM001/SEM002 redundancy findings and
+    SEM003/SEM004 differential-verifier certificate failures."""
+    from .analysis.semantic.minimize import (
+        mapping_diagnostics,
+        minimize_program,
+        minimize_unitary_mappings,
+    )
+
+    diags: list = []
+    try:
+        system = MappingSystem(problem, algorithm=algorithm)
+        result = system.query_result()
+    except ReproError:
+        return diags  # the structural analyzer already reported the failure
+    if semantic:
+        diags.extend(minimize_program(result.program).diagnostics())
+        diags.extend(mapping_diagnostics(minimize_unitary_mappings(result.final)))
+    if verify:
+        diags.extend(system.verify().diagnostics)
+    return diags
+
+
 def cmd_match(args) -> int:
     with open(args.source) as handle:
         source = parse_schema(handle.read(), name="source")
@@ -284,6 +433,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--no-optimize", action="store_true",
                        help="keep subsumed Datalog rules")
+        p.add_argument("--semantic-pruning", action="store_true",
+                       help="route pruning pairs the syntactic tests miss "
+                            "through the chase-based containment engine")
+        p.add_argument("--verify-optimizations", action="store_true",
+                       help="certify every optimizer/resolution rewrite via "
+                            "the differential verifier; fail on SEM003/SEM004")
         p.add_argument("--trace", action="store_true",
                        help="print the stage-by-stage run report (spans + counters)")
         p.add_argument("--profile", action="store_true",
@@ -314,6 +469,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     explain_parser = sub.add_parser("explain", help="audit the generation run")
     common(explain_parser)
+    explain_parser.add_argument(
+        "--why-pruned", metavar="CANDIDATE",
+        help="explain one prune decision (e.g. c3): the syntactic record "
+             "plus the chase-based containment witness, or 'syntactic only'",
+    )
     explain_parser.set_defaults(func=cmd_explain)
 
     query_parser = sub.add_parser(
@@ -334,6 +494,32 @@ def build_parser() -> argparse.ArgumentParser:
         "reproduce", help="re-run every paper figure and print the verdicts"
     )
     reproduce_parser.set_defaults(func=cmd_reproduce)
+
+    minimize_parser = sub.add_parser(
+        "minimize",
+        help="semantically minimize the generated transformation "
+             "(chase-based containment, witnesses printed)",
+    )
+    minimize_parser.add_argument(
+        "problem", nargs="?", help="problem file (.txt DSL or .json)"
+    )
+    minimize_parser.add_argument(
+        "--scenario", metavar="NAME", help="minimize one bundled scenario"
+    )
+    minimize_parser.add_argument(
+        "--algorithm", choices=[BASIC, NOVEL], default=NOVEL,
+        help="basic = Clio-style Algorithms 1+2; novel = the paper's 3+4",
+    )
+    minimize_parser.add_argument(
+        "--syntactic-first", action="store_true",
+        help="run the syntactic optimizer first and only report what the "
+             "semantic pass removes on top of it",
+    )
+    minimize_parser.add_argument(
+        "--long-names", action="store_true",
+        help="keep full Skolem functor names",
+    )
+    minimize_parser.set_defaults(func=cmd_minimize)
 
     lint_parser = sub.add_parser(
         "lint", help="statically analyze problems (schemas, mappings, Datalog)"
@@ -356,6 +542,16 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--no-deep", action="store_true",
         help="static checks only: skip the pipeline-backed MAP/DLG checks",
+    )
+    lint_parser.add_argument(
+        "--semantic", action="store_true",
+        help="also run the semantic redundancy pass (SEM001/SEM002: "
+             "chase-provable subsumed rules and unitary mappings)",
+    )
+    lint_parser.add_argument(
+        "--verify-optimizations", action="store_true",
+        help="also run the differential optimizer verifier "
+             "(SEM003/SEM004 on certificate failures)",
     )
     lint_parser.add_argument(
         "--format", choices=["text", "sarif"], default="text",

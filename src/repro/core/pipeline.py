@@ -87,16 +87,24 @@ class MappingSystem:
         skolem_strategy: str | None = None,
         optimize: bool = True,
         trace: bool = False,
+        semantic_pruning: bool = False,
+        verify_optimizations: bool = False,
     ):
         problem.validate()
         self.problem = problem
         self.algorithm = algorithm
         self.skolem_strategy = skolem_strategy
         self.optimize = optimize
+        self.semantic_pruning = semantic_pruning
+        #: when set, query generation is followed by the differential
+        #: verifier (repro.analysis.semantic.verifier); certificate failures
+        #: raise carrying the SEM003/SEM004 diagnostic.
+        self.verify_optimizations = verify_optimizations
         self.tracer: Tracer | None = Tracer() if trace else None
         self._schema_mapping_result: SchemaMappingResult | None = None
         self._query_result: QueryGenerationResult | None = None
         self._last_evaluation: EvaluationResult | None = None
+        self._verification_report = None
         self._fingerprint = self._problem_fingerprint()
         #: the AnalysisReport of the most recent :meth:`compile` quick lint
         self.lint_report = None
@@ -119,6 +127,7 @@ class MappingSystem:
             self._schema_mapping_result = None
             self._query_result = None
             self._last_evaluation = None
+            self._verification_report = None
 
     # -- stage 1: schema mapping generation --------------------------------
 
@@ -131,6 +140,7 @@ class MappingSystem:
                     self.problem.target_schema,
                     self.problem.correspondences,
                     algorithm=self.algorithm,
+                    semantic_pruning=self.semantic_pruning,
                 )
         return self._schema_mapping_result
 
@@ -151,7 +161,38 @@ class MappingSystem:
                     skolem_strategy=self.skolem_strategy,
                     optimize=self.optimize,
                 )
+            if self.verify_optimizations:
+                report = self.verify()
+                if not report.ok:
+                    first = report.diagnostics[0]
+                    raise ReproError(
+                        f"optimization verification failed for "
+                        f"{self.problem.name!r}: {first.render()}",
+                        diagnostic=first,
+                    )
         return self._query_result
+
+    def verify(self):
+        """Run (and cache) the differential optimizer / resolution verifier.
+
+        Returns the :class:`repro.analysis.semantic.VerificationReport`
+        certifying that ``remove_subsumed_rules`` and key-conflict
+        resolution preserved the program's semantics for this problem.
+        Never raises on failures — :attr:`verify_optimizations` adds the
+        raising behaviour to the pipeline itself.
+        """
+        from ..analysis.semantic.verifier import verify_generation
+
+        self._check_fresh()
+        if self._verification_report is None:
+            with self._traced():
+                self._verification_report = verify_generation(
+                    self.schema_mapping,
+                    algorithm=self.algorithm,
+                    skolem_strategy=self.skolem_strategy,
+                    problem=self.problem.name,
+                )
+        return self._verification_report
 
     @property
     def transformation(self) -> DatalogProgram:

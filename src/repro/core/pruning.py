@@ -19,6 +19,16 @@ Embeddings respect null / non-null conditions (a condition of the smaller
 tableau must be present in the bigger one) and the value bindings of the
 covered correspondences (the data flow must be preserved, not just the
 shape).
+
+With ``semantic=True``, :func:`prune_candidates` additionally routes pairs
+the syntactic tests cannot decide through the chase-based containment
+engine (:mod:`repro.analysis.semantic.containment`): subsumption falls back
+to condition-aware query containment with the covered flows as heads, and
+implication falls back to tgd implication (``mapping_implies``) — which in
+particular drops the requirement that the two candidates share the *same*
+source tableau object, catching isomorphic-but-distinct chase results.
+The flag is off by default: the syntactic rules are the paper's, and the
+default pipeline behaviour must stay bit-for-bit identical.
 """
 
 from __future__ import annotations
@@ -141,6 +151,118 @@ def implies(stronger: CandidateMapping, weaker: CandidateMapping) -> bool:
     return h is not None
 
 
+def semantic_subsumption_witnesses(
+    small: CandidateMapping, big: CandidateMapping
+):
+    """The chase certificates that ``big`` is subsumed by ``small``.
+
+    Returns ``(source_witness, target_witness)`` — containment witnesses of
+    ``big``'s tableau queries in ``small``'s, with the covered flow terms
+    (in a canonical correspondence order) as heads so the data flow is
+    preserved by construction — or ``None`` when either side has no
+    certificate or the structural preconditions (same covered set,
+    strictness) fail.
+    """
+    from ..analysis.semantic.containment import ConjunctiveQuery, contained_in
+
+    if small.covered_set() != big.covered_set():
+        return None
+    strict = len(big.source_tableau) > len(small.source_tableau) or len(
+        big.target_tableau
+    ) > len(small.target_tableau)
+    if not strict:
+        return None
+
+    shared = sorted(small.covered_set(), key=repr)
+
+    def flow_query(candidate: CandidateMapping, side: str) -> ConjunctiveQuery:
+        selection = candidate.selection_by_correspondence()
+        if side == "source":
+            tableau = candidate.source_tableau
+            head = tuple(
+                selection[c].source.referenced_term(tableau) for c in shared
+            )
+        else:
+            tableau = candidate.target_tableau
+            head = tuple(
+                selection[c].target.referenced_term(tableau) for c in shared
+            )
+        return ConjunctiveQuery(
+            head_label=f"flows:{side}",
+            head=head,
+            atoms=tuple(tableau.atoms),
+            null_vars=frozenset(tableau.null_vars),
+            nonnull_vars=frozenset(tableau.nonnull_vars),
+        )
+
+    source = contained_in(flow_query(big, "source"), flow_query(small, "source"))
+    if source is None:
+        return None
+    target = contained_in(flow_query(big, "target"), flow_query(small, "target"))
+    if target is None:
+        return None
+    return source, target
+
+
+def semantic_subsumes(small: CandidateMapping, big: CandidateMapping) -> bool:
+    """The subsumption test, decided by the containment engine.
+
+    Same covered set and strictness conditions as :func:`subsumes`, but the
+    two embeddings become chase-based containment checks of the tableau
+    queries whose heads are the covered flow terms — so reordered or renamed
+    chase results still compare (see
+    :func:`semantic_subsumption_witnesses`).
+    """
+    return semantic_subsumption_witnesses(small, big) is not None
+
+
+def semantic_implication_witness(
+    stronger: CandidateMapping, weaker: CandidateMapping
+):
+    """The chase certificate that ``stronger`` logically implies ``weaker``.
+
+    Interprets both candidates as their induced logical mappings and asks
+    whether the stronger one logically implies the weaker one
+    (:func:`repro.analysis.semantic.containment.mapping_implies`).  Unlike
+    :func:`implies`, this does not require the two candidates to share the
+    same source-tableau *object* — isomorphic chase results compare equal.
+    Returns the witness, or ``None``.
+    """
+    from ..analysis.semantic.containment import mapping_implies
+    from .schema_mapping import candidate_to_logical_mapping
+
+    def target_conditions(candidate: CandidateMapping):
+        # candidate_to_logical_mapping substitutes covered target variables
+        # by their source terms, so thread the target tableau's conditions
+        # through the same binding before handing them to the engine.
+        theta, _ = candidate.binding()
+
+        def images(variables):
+            return frozenset(
+                image
+                for var in variables
+                for image in (theta.get(var, var),)
+                if isinstance(image, Variable)
+            )
+
+        tableau = candidate.target_tableau
+        return images(tableau.null_vars), images(tableau.nonnull_vars)
+
+    strong = candidate_to_logical_mapping(stronger, label=stronger.name)
+    weak = candidate_to_logical_mapping(weaker, label=weaker.name)
+    return mapping_implies(
+        strong,
+        weak,
+        stronger_consequent_conditions=target_conditions(stronger),
+        weaker_consequent_conditions=target_conditions(weaker),
+    )
+
+
+def semantic_implies(stronger: CandidateMapping, weaker: CandidateMapping) -> bool:
+    """The implication test, decided by tgd implication over the chase."""
+    return semantic_implication_witness(stronger, weaker) is not None
+
+
 @dataclass
 class PruningResult:
     kept: list[CandidateMapping] = field(default_factory=list)
@@ -150,10 +272,17 @@ class PruningResult:
 def prune_candidates(
     candidates: list[CandidateMapping],
     use_nonnull_extension: bool = True,
+    semantic: bool = False,
 ) -> PruningResult:
-    """Apply subsumption, implication and non-null-extension pruning in order."""
+    """Apply subsumption, implication and non-null-extension pruning in order.
+
+    ``semantic`` (compatibility flag, default off) additionally tries the
+    containment-engine variants of subsumption and implication on pairs the
+    syntactic tests reject; records gained this way carry a
+    ``"... (semantic)"`` reason.
+    """
     with span("mapping.pruning", candidates=len(candidates)) as trace:
-        result = _prune_candidates(candidates, use_nonnull_extension)
+        result = _prune_candidates(candidates, use_nonnull_extension, semantic)
         count("candidates.kept", len(result.kept))
         trace.set(kept=len(result.kept), pruned=len(result.pruned))
         return result
@@ -162,27 +291,49 @@ def prune_candidates(
 def _prune_candidates(
     candidates: list[CandidateMapping],
     use_nonnull_extension: bool,
+    semantic: bool = False,
 ) -> PruningResult:
     result = PruningResult()
+
+    def subsumption_test(small: CandidateMapping, big: CandidateMapping) -> str | None:
+        if subsumes(small, big):
+            return "syntactic"
+        if semantic and semantic_subsumes(small, big):
+            count("prune.semantic")
+            return "semantic"
+        return None
+
+    def implication_test(
+        stronger: CandidateMapping, weaker: CandidateMapping
+    ) -> str | None:
+        if implies(stronger, weaker):
+            return "syntactic"
+        if semantic and semantic_implies(stronger, weaker):
+            count("prune.semantic")
+            return "semantic"
+        return None
 
     # -- subsumption ------------------------------------------------------
     survivors: list[CandidateMapping] = []
     for candidate in candidates:
-        subsumer = next(
+        record = next(
             (
-                other
+                (other, how)
                 for other in candidates
-                if other is not candidate and subsumes(other, candidate)
+                for how in (subsumption_test(other, candidate),)
+                if other is not candidate and how is not None
             ),
             None,
         )
-        if subsumer is not None:
+        if record is not None:
+            subsumer, how = record
             count("prune.subsumption")
+            note = " (semantic)" if how == "semantic" else ""
             result.pruned.append(
                 PruneRecord(
                     candidate.name,
                     repr(candidate),
-                    f"subsumed by {subsumer.name}",
+                    f"subsumed by {subsumer.name}{note}",
                     rule="subsumption",
                     by=subsumer.name,
                 )
@@ -196,17 +347,19 @@ def _prune_candidates(
         for j, other in enumerate(survivors):
             if i == j or j in implied_away:
                 continue
-            if not implies(other, candidate):
+            how = implication_test(other, candidate)
+            if how is None:
                 continue
-            if implies(candidate, other) and i < j:
+            if implication_test(candidate, other) is not None and i < j:
                 continue  # structurally equal candidates: keep the earlier one
             implied_away.add(i)
             count("prune.implication")
+            note = " (semantic)" if how == "semantic" else ""
             result.pruned.append(
                 PruneRecord(
                     candidate.name,
                     repr(candidate),
-                    f"implied by {other.name}",
+                    f"implied by {other.name}{note}",
                     rule="implication",
                     by=other.name,
                 )

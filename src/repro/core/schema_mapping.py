@@ -109,11 +109,14 @@ def generate_schema_mapping(
     target_schema: Schema,
     correspondences: list[Correspondence],
     algorithm: str = NOVEL,
+    semantic_pruning: bool = False,
 ) -> SchemaMappingResult:
     """Run schema-mapping generation end to end.
 
     ``algorithm`` is :data:`BASIC` (Algorithm 1) or :data:`NOVEL`
-    (Algorithm 3).
+    (Algorithm 3).  ``semantic_pruning`` additionally routes pruning pairs
+    the syntactic tests miss through the chase-based containment engine
+    (see :func:`repro.core.pruning.prune_candidates`).
     """
     if algorithm not in (BASIC, NOVEL):
         raise MappingGenerationError(f"unknown algorithm {algorithm!r}")
@@ -145,6 +148,7 @@ def generate_schema_mapping(
         pruning = prune_candidates(
             generation.candidates,
             use_nonnull_extension=(algorithm == NOVEL),
+            semantic=semantic_pruning,
         )
         report.pruned.extend(pruning.pruned)
         report.kept = pruning.kept

@@ -86,7 +86,17 @@ def remove_subsumed_rules(program: DatalogProgram) -> DatalogProgram:
                 break
         if not redundant:
             kept.append(rule)
-    # Drop intermediate relations no longer referenced.
+    return drop_dead_intermediates(program, kept)
+
+
+def drop_dead_intermediates(
+    program: DatalogProgram, kept: list[Rule]
+) -> DatalogProgram:
+    """Rebuild ``program`` from ``kept``, dropping unreferenced intermediates.
+
+    Shared by :func:`remove_subsumed_rules` and the semantic minimizer
+    (:mod:`repro.analysis.semantic.minimize`).
+    """
     referenced = {
         a.relation for r in kept for a in list(r.body) + list(r.negated)
     }

@@ -169,6 +169,92 @@ class TestJsonProblems:
         assert "OCtmp" in capsys.readouterr().out
 
 
+class TestMinimize:
+    def test_minimize_scenario_removes_redundant_rule(self, capsys):
+        assert main(["minimize", "--scenario", "figure-10"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 rule(s)" in out
+        assert "SEM001" in out and "witness" in out
+        assert "SEM002" in out  # the matching unitary-mapping finding
+        assert "# minimized transformation" in out
+
+    def test_minimize_problem_file(self, problem_file, capsys):
+        assert main(["minimize", problem_file]) == 0
+        out = capsys.readouterr().out
+        assert "semantic minimization" in out
+
+    def test_minimize_syntactic_first_is_already_minimal(self, capsys):
+        assert main(["minimize", "--scenario", "figure-10",
+                     "--syntactic-first"]) == 0
+        out = capsys.readouterr().out
+        assert "no removable rules" in out
+
+    def test_minimize_unknown_scenario(self, capsys):
+        assert main(["minimize", "--scenario", "no-such-figure"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_minimize_needs_a_problem(self, capsys):
+        assert main(["minimize"]) == 2
+        assert "problem file or --scenario" in capsys.readouterr().err
+
+
+class TestWhyPruned:
+    def test_subsumption_witnesses(self, problem_file, capsys):
+        assert main(["explain", problem_file, "--why-pruned", "S3"]) == 0
+        out = capsys.readouterr().out
+        assert "rule:   subsumption" in out
+        assert "containment witnesses" in out
+        assert "source side: {" in out and "target side: {" in out
+
+    def test_nonnull_extension_is_syntactic_only(self, problem_file, capsys):
+        assert main(["explain", problem_file, "--why-pruned", "S6"]) == 0
+        out = capsys.readouterr().out
+        assert "rule:   nonnull-extension" in out
+        assert "syntactic only" in out
+
+    def test_poison_record_has_no_subsumer(self, problem_file, capsys):
+        assert main(["explain", problem_file, "--why-pruned", "S8"]) == 0
+        out = capsys.readouterr().out
+        assert "no subsuming candidate" in out
+
+    def test_unknown_candidate_lists_pruned_names(self, problem_file, capsys):
+        assert main(["explain", problem_file, "--why-pruned", "S99"]) == 2
+        err = capsys.readouterr().err
+        assert "no pruned candidate named 'S99'" in err
+        assert "S3" in err
+
+
+class TestSemanticLint:
+    def test_lint_semantic_flags_redundancy(self, problem_file, capsys):
+        assert main(["lint", problem_file, "--semantic"]) == 0
+        out = capsys.readouterr().out
+        assert "SEM002" in out
+        assert "warning" in out
+
+    def test_lint_verify_optimizations_is_clean(self, problem_file, capsys):
+        assert main(["lint", problem_file, "--verify-optimizations"]) == 0
+        out = capsys.readouterr().out
+        assert "SEM003" not in out and "SEM004" not in out
+
+    def test_semantic_sarif_carries_witnesses(self, problem_file, tmp_path):
+        sarif_path = tmp_path / "sem.sarif"
+        assert main(["lint", problem_file, "--semantic",
+                     "--sarif-out", str(sarif_path)]) == 0
+        log = json.loads(sarif_path.read_text())
+        results = log["runs"][0]["results"]
+        semantic = [r for r in results if r["ruleId"].startswith("SEM")]
+        assert semantic
+        assert any("witness" in r.get("properties", {}) for r in semantic)
+
+    def test_verify_optimizations_pipeline_flag(self, problem_file, capsys):
+        assert main(["compile", problem_file, "--verify-optimizations"]) == 0
+        assert "<-" in capsys.readouterr().out
+
+    def test_semantic_pruning_pipeline_flag(self, problem_file, capsys):
+        assert main(["compile", problem_file, "--semantic-pruning"]) == 0
+        assert "<-" in capsys.readouterr().out
+
+
 class TestTelemetry:
     def test_compile_trace_prints_run_report(self, problem_file, capsys):
         assert main(["compile", problem_file, "--trace"]) == 0

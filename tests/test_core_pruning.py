@@ -2,7 +2,16 @@
 
 from repro.core.candidates import generate_candidates
 from repro.core.chase import MODIFIED, logical_relations
-from repro.core.pruning import implies, prune_candidates, subsumes
+from repro.core.pruning import (
+    implies,
+    prune_candidates,
+    semantic_implication_witness,
+    semantic_implies,
+    semantic_subsumes,
+    semantic_subsumption_witnesses,
+    subsumes,
+)
+from repro.obs import Tracer, use_tracer
 from repro.scenarios import cars
 from repro.scenarios.appendix_a import example_a5, example_a6
 
@@ -122,3 +131,80 @@ class TestRelationsDirectly:
         assert not implies(s5, s7)
         s3 = by_shape[(("C2",), ("C3",), False)]
         assert not implies(s7, s3)  # different source tableau
+
+
+_S5_SHAPE = (("C2", "P2"), ("C3",), False)
+_S7_SHAPE = (("C2", "P2"), ("O3", "C3", "P3"), False)
+
+
+class TestSemanticPruning:
+    """The chase-based fallbacks behind the ``semantic`` compatibility flag.
+
+    Regression scenario: re-chasing the same problem yields isomorphic but
+    *distinct* tableau objects.  The paper's syntactic implication test
+    requires the identical source-tableau object, so it misses the pair;
+    the containment engine decides it semantically.
+    """
+
+    def test_syntactic_implication_misses_rechased_tableaux(self):
+        problem = cars.figure14_problem()
+        s5 = {_shape(c): c for c in _candidates(problem).candidates}[_S5_SHAPE]
+        s7 = {_shape(c): c for c in _candidates(problem).candidates}[_S7_SHAPE]
+        assert s5.source_tableau is not s7.source_tableau
+        assert not implies(s7, s5)  # identity test fails across chases
+        assert semantic_implies(s7, s5)
+        witness = semantic_implication_witness(s7, s5)
+        assert witness is not None and witness.kind == "chase"
+
+    def test_semantic_subsumption_has_two_sided_witness(self):
+        generation = _candidates(cars.figure1_problem())
+        by_shape = {_shape(c): c for c in generation.candidates}
+        s1 = by_shape[(("P3",), ("P2",), False)]
+        s2 = by_shape[(("O3", "C3", "P3"), ("P2",), False)]
+        assert semantic_subsumes(s1, s2)
+        witnesses = semantic_subsumption_witnesses(s1, s2)
+        assert witnesses is not None
+        source_side, target_side = witnesses
+        assert source_side.kind == "homomorphism"
+        assert target_side.kind == "homomorphism"
+        # The reverse direction must have no certificate.
+        assert semantic_subsumption_witnesses(s2, s1) is None
+
+    def test_prune_candidates_semantic_flag_catches_the_pair(self):
+        problem = cars.figure14_problem()
+        foreign_s5 = {
+            _shape(c): c for c in _candidates(problem).candidates
+        }[_S5_SHAPE]
+        rechased = _candidates(problem).candidates
+        mixed = [
+            foreign_s5 if _shape(c) == _S5_SHAPE else c for c in rechased
+        ]
+
+        syntactic = prune_candidates(mixed)
+        assert _S5_SHAPE in {_shape(c) for c in syntactic.kept}  # missed
+
+        with use_tracer(Tracer()) as tracer:
+            semantic = prune_candidates(mixed, semantic=True)
+        kept_shapes = {_shape(c) for c in semantic.kept}
+        assert _S5_SHAPE not in kept_shapes
+        assert kept_shapes == {
+            (("P2",), ("P3",), False),
+            (("C2",), ("C3",), False),
+            (("C2", "P2"), ("O3", "C3", "P3"), False),
+        }
+        record = next(
+            p for p in semantic.pruned if p.name == foreign_s5.name
+        )
+        assert record.rule == "implication"
+        assert "(semantic)" in record.reason
+        assert tracer.counters["prune.semantic"] >= 1
+
+    def test_semantic_flag_is_a_no_op_on_the_paper_scenarios(self):
+        for problem in (cars.figure1_problem(), cars.figure14_problem()):
+            plain = prune_candidates(_candidates(problem).candidates)
+            flagged = prune_candidates(
+                _candidates(problem).candidates, semantic=True
+            )
+            assert {_shape(c) for c in plain.kept} == {
+                _shape(c) for c in flagged.kept
+            }

@@ -1,7 +1,9 @@
 """Tests for homomorphisms between atom sets."""
 
+import itertools
+
 from repro.logic.atoms import RelationalAtom
-from repro.logic.homomorphism import embeds, find_homomorphism
+from repro.logic.homomorphism import embeds, find_homomorphism, iter_homomorphisms
 from repro.logic.terms import Constant, Variable
 
 
@@ -100,3 +102,79 @@ def test_arity_mismatch():
         [RelationalAtom("R", (V("x"),))],
         [RelationalAtom("R", (V("a"), V("b")))],
     )
+
+
+def test_iter_homomorphisms_enumerates_all():
+    x = V("x")
+    a, b, c = Constant("a"), Constant("b"), Constant("c")
+    pattern = [RelationalAtom("R", (x,))]
+    target = [RelationalAtom("R", (t,)) for t in (a, b, c)]
+    images = [assignment[x] for assignment in iter_homomorphisms(pattern, target)]
+    assert sorted(images, key=repr) == [a, b, c]
+
+
+def test_witness_is_independent_of_target_order():
+    """The canonical candidate ordering makes the first witness stable."""
+    x, y = V("x"), V("y")
+    pattern = [RelationalAtom("R", (x, y)), RelationalAtom("S", (y,))]
+    atoms = [
+        RelationalAtom("R", (Constant("a"), Constant("b"))),
+        RelationalAtom("R", (Constant("c"), Constant("d"))),
+        RelationalAtom("S", (Constant("b"),)),
+        RelationalAtom("S", (Constant("d"),)),
+    ]
+    witnesses = {
+        tuple(sorted(find_homomorphism(pattern, list(perm)).items(),
+                     key=lambda item: item[0].name))
+        for perm in itertools.permutations(atoms)
+    }
+    assert len(witnesses) == 1
+
+
+def test_enumeration_order_is_deterministic():
+    x = V("x")
+    pattern = [RelationalAtom("R", (x,))]
+    atoms = [RelationalAtom("R", (Constant(f"c{i}"),)) for i in range(4)]
+    expected = [a[x] for a in iter_homomorphisms(pattern, atoms)]
+    for perm in itertools.permutations(atoms):
+        got = [a[x] for a in iter_homomorphisms(pattern, list(perm))]
+        assert got == expected
+
+
+def test_constant_prefilter_prunes_candidates():
+    """Targets that clash on constants never enter the backtracking search."""
+    x = V("x")
+    pattern = [RelationalAtom("R", (Constant("k"), x))]
+    target = [RelationalAtom("R", (Constant(f"n{i}"), Constant("v"))) for i in range(50)]
+    target.append(RelationalAtom("R", (Constant("k"), Constant("hit"))))
+    vetoed: list = []
+
+    def check(var, term):
+        vetoed.append(term)
+        return True
+
+    assignment = find_homomorphism(pattern, target, var_check=check)
+    assert assignment == {x: Constant("hit")}
+    # Only the single compatible atom was ever offered to var_check.
+    assert vetoed == [Constant("hit")]
+
+
+def test_repeated_variable_prefilter():
+    x = V("x")
+    pattern = [RelationalAtom("R", (x, x))]
+    target = [
+        RelationalAtom("R", (Constant("a"), Constant("b"))),
+        RelationalAtom("R", (Constant("c"), Constant("c"))),
+    ]
+    assert find_homomorphism(pattern, target) == {x: Constant("c")}
+
+
+def test_fixed_bindings_feed_the_prefilter():
+    x, y = V("x"), V("y")
+    pattern = [RelationalAtom("R", (x, y))]
+    target = [
+        RelationalAtom("R", (Constant("a"), Constant("b"))),
+        RelationalAtom("R", (Constant("c"), Constant("d"))),
+    ]
+    assignment = find_homomorphism(pattern, target, fixed={x: Constant("c")})
+    assert assignment == {x: Constant("c"), y: Constant("d")}

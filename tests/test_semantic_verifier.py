@@ -1,0 +1,138 @@
+"""The differential optimizer verifier, always-on over every bundled scenario."""
+
+import pytest
+
+from repro.analysis.semantic.verifier import (
+    VerificationReport,
+    canonical_instances,
+    verify_system,
+)
+from repro.core.pipeline import MappingSystem
+from repro.core.schema_mapping import BASIC
+from repro.datalog.program import DatalogProgram, Rule
+from repro.errors import ReproError
+from repro.logic.atoms import RelationalAtom
+from repro.logic.terms import Variable
+from repro.model.builder import SchemaBuilder
+from repro.scenarios import bundled_problems, cars
+
+SCENARIOS = sorted(bundled_problems())
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_every_bundled_scenario_certifies(name):
+    system = MappingSystem(bundled_problems()[name])
+    report = verify_system(system)
+    assert report.checks, name  # something was actually certified
+    assert report.ok, [c.detail for c in report.failures()]
+    assert report.diagnostics == []
+
+
+@pytest.mark.parametrize("name", ["figure-1", "figure-10", "figure-14"])
+def test_basic_algorithm_certifies(name):
+    system = MappingSystem(bundled_problems()[name], algorithm=BASIC)
+    report = verify_system(system)
+    assert report.ok, [c.detail for c in report.failures()]
+
+
+class TestPipelineFlag:
+    def test_verify_optimizations_passes_and_caches(self):
+        system = MappingSystem(cars.figure1_problem(), verify_optimizations=True)
+        system.query_result()  # runs the verifier, raising on failure
+        report = system.verify()
+        assert report.ok
+        assert system.verify() is report  # cached
+
+    def test_verify_without_flag_is_lazy(self):
+        system = MappingSystem(cars.figure1_problem())
+        system.query_result()
+        assert system._verification_report is None
+        report = system.verify()
+        assert report.ok and report.problem == "figure-1"
+
+    def test_cache_invalidated_on_problem_mutation(self):
+        problem = cars.figure1_problem()
+        system = MappingSystem(problem)
+        first = system.verify()
+        problem.add_correspondence("C3.car", "C2.car", "extra")
+        second = system.verify()
+        assert second is not first
+
+
+class TestCanonicalInstances:
+    def test_per_rule_and_union_instances(self):
+        system = MappingSystem(cars.figure1_problem())
+        program = system.query_result().program
+        labeled = canonical_instances(program)
+        labels = [label for label, _ in labeled]
+        assert labels[-1] == "union"
+        assert len(labeled) == len(program.rules) + 1
+        for _, instance in labeled:
+            # Canonical instances only populate source relations.
+            populated = {name for name, relation in instance.relations.items()
+                         if relation.rows}
+            assert populated <= set(program.source_schema.relation_names())
+
+    def test_null_conditioned_variable_freezes_to_null(self):
+        from repro.model.values import NULL
+
+        # Figure 14 maps CARS2 back to CARS3; its C3 rule requires p = null.
+        system = MappingSystem(cars.figure14_problem())
+        program = system.query_result().program
+        nulled = [
+            (i, rule) for i, rule in enumerate(program.rules) if rule.null_vars
+        ]
+        assert nulled
+        index, rule = nulled[0]
+        labeled = dict(canonical_instances(program))
+        instance = labeled[f"rule[{index}]:{rule.head_relation}"]
+        assert any(
+            NULL in row
+            for relation in instance.relations.values()
+            for row in relation.rows
+        )
+
+
+class TestFailureDetection:
+    def test_broken_optimizer_is_caught(self, monkeypatch):
+        """Dropping a non-redundant rule must produce SEM003 failures."""
+        import repro.analysis.semantic.verifier as verifier_module
+
+        def lobotomized(program):
+            # "Optimize" by discarding the C2 rules — semantics change.
+            kept = [r for r in program.rules if r.head_relation != "C2"]
+            return DatalogProgram(
+                rules=kept,
+                source_schema=program.source_schema,
+                target_schema=program.target_schema,
+                intermediates=dict(program.intermediates),
+            )
+
+        monkeypatch.setattr(
+            verifier_module, "remove_subsumed_rules", lobotomized
+        )
+        system = MappingSystem(cars.figure1_problem())
+        report = verify_system(system)
+        assert not report.ok
+        assert any(d.code == "SEM003" for d in report.diagnostics)
+
+    def test_pipeline_flag_raises_on_failure(self, monkeypatch):
+        import repro.analysis.semantic.verifier as verifier_module
+
+        def lobotomized(program):
+            kept = [r for r in program.rules if r.head_relation != "C2"]
+            return DatalogProgram(
+                rules=kept,
+                source_schema=program.source_schema,
+                target_schema=program.target_schema,
+                intermediates=dict(program.intermediates),
+            )
+
+        monkeypatch.setattr(
+            verifier_module, "remove_subsumed_rules", lobotomized
+        )
+        system = MappingSystem(cars.figure1_problem(), verify_optimizations=True)
+        with pytest.raises(ReproError) as excinfo:
+            system.query_result()
+        assert "SEM003" in str(excinfo.value)
+        assert excinfo.value.diagnostic is not None
