@@ -12,6 +12,10 @@ The public surface:
   :class:`AnalysisReport`, the ``CODES`` registry and the severity
   constants;
 * :func:`to_sarif` / :func:`to_sarif_json` — SARIF 2.1.0 serialization;
+* the flow engine (:mod:`repro.analysis.flow`) — abstract interpretation
+  over generated programs: :func:`analyze_flow` solves per-position
+  nullability / provenance / key-origin fixpoints and emits the ``FLW*``
+  diagnostics;
 * the semantic analyzer (:mod:`repro.analysis.semantic`) — chase-based
   containment (:func:`contained_in`, :func:`equivalent`), mapping/program
   minimization (:func:`minimize_program`,
@@ -47,6 +51,14 @@ _EXPORTS = {
     "lint_program": ".datalog_lint",
     "analyze": ".analyzer",
     "quick_lint": ".analyzer",
+    "analyze_flow": ".flow",
+    "flow_diagnostics": ".flow",
+    "FlowReport": ".flow",
+    "FlowResult": ".flow",
+    "NullabilityAnalysis": ".flow",
+    "ProvenanceAnalysis": ".flow",
+    "KeyOriginAnalysis": ".flow",
+    "solve": ".flow",
     "to_sarif": ".sarif",
     "to_sarif_json": ".sarif",
     "ContainmentEngine": ".semantic",
@@ -65,6 +77,16 @@ __all__ = sorted(_EXPORTS)
 if TYPE_CHECKING:  # pragma: no cover
     from .analyzer import analyze, quick_lint
     from .datalog_lint import lint_program
+    from .flow import (
+        FlowReport,
+        FlowResult,
+        KeyOriginAnalysis,
+        NullabilityAnalysis,
+        ProvenanceAnalysis,
+        analyze_flow,
+        flow_diagnostics,
+        solve,
+    )
     from .diagnostics import (
         CODES,
         ERROR,

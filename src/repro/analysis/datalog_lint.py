@@ -7,10 +7,10 @@ deserialized ones — and adds two checks the runtime never performs:
 
 * ``DLG004`` — every Skolem functor must be applied at one arity only, or
   invented values would collide unpredictably across rules;
-* ``DLG010`` — a dataflow walk from nullable source attributes through rule
-  variables (and through intermediate ``tmp`` relations, whose per-position
-  nullability is inferred from their defining rules) to target columns,
-  flagging nulls that can reach a non-nullable target attribute.
+* ``DLG010`` — nulls that can reach a non-nullable target attribute,
+  decided by the nullability fixpoint of :mod:`repro.analysis.flow` (which
+  tracks nulls from nullable source attributes through rule variables and
+  intermediate ``tmp`` relations to the target columns).
 """
 
 from __future__ import annotations
@@ -19,14 +19,8 @@ from typing import Iterable
 
 from ..datalog.program import DatalogProgram, Rule, unsafe_rule_variables
 from ..datalog.stratify import find_recursion_cycle
-from ..logic.terms import Constant, NullTerm, SkolemTerm, Term, Variable
-from ..model.schema import Schema
+from ..logic.terms import SkolemTerm, Term
 from .diagnostics import Diagnostic, ERROR, WARNING, diagnostic
-
-# Dataflow lattice for "can this term be null?".
-_NO = "no"
-_MAYBE = "maybe"
-_NULL = "null"
 
 
 def safety_diagnostics(rule: Rule) -> list[Diagnostic]:
@@ -102,91 +96,40 @@ def functor_arity_diagnostics(program: DatalogProgram) -> list[Diagnostic]:
     ]
 
 
-def _nullable_positions(schema: Schema | None) -> dict[str, list[bool]]:
-    if schema is None:
-        return {}
-    return {
-        relation.name: [a.nullable for a in relation.attributes]
-        for relation in schema
-    }
-
-
-def _term_null_status(
-    term: Term, rule: Rule, nullability: dict[str, list[bool]]
-) -> str:
-    """Whether ``term`` can be null under the rule's bindings and conditions."""
-    if isinstance(term, NullTerm):
-        return _NULL
-    if isinstance(term, (Constant, SkolemTerm)):
-        return _NO  # constants and invented values are never null
-    if not isinstance(term, Variable):  # pragma: no cover - defensive
-        return _MAYBE
-    if term in rule.nonnull_vars:
-        return _NO
-    if term in rule.null_vars:
-        return _NULL
-    for equality in rule.equalities:
-        if (equality.left is term and isinstance(equality.right, Constant)) or (
-            equality.right is term and isinstance(equality.left, Constant)
-        ):
-            return _NO
-    for atom in rule.body:
-        positions = nullability.get(atom.relation)
-        for index, body_term in enumerate(atom.terms):
-            if body_term is not term:
-                continue
-            if positions is not None and index < len(positions):
-                if not positions[index]:
-                    return _NO  # bound at a mandatory position: never null
-    # Bound only at nullable (or unknown) positions — or unbound, which
-    # DLG001 reports separately.  Either way the value may be null.
-    return _MAYBE
-
-
 def null_flow_diagnostics(program: DatalogProgram) -> list[Diagnostic]:
     """``DLG010``: nulls reaching non-nullable target attributes.
 
-    Per-position nullability of intermediate relations is inferred from
-    their defining rules in evaluation order, so a null entering a ``tmp``
-    relation is tracked through to the target rules that read it.
+    A client of the flow engine's nullability analysis: the fixpoint solves
+    the per-position can-be-null facts (tracking nulls through intermediate
+    ``tmp`` relations), and each target rule's head terms are re-evaluated
+    under the solved environment so the finding names the offending rule.
     """
     target = program.target_schema
     if target is None:
         return []
-    nullability = _nullable_positions(program.source_schema)
-    nullability.update(_nullable_positions(target))
-
     if find_recursion_cycle(program) is not None:
         return []  # recursive program: reported as DLG002, dataflow undefined
 
     from ..datalog.stratify import stratify
+    from .flow import NO, YES, NullabilityAnalysis, rule_term_status, solve
+    from .flow.lattice import BOTTOM
 
+    solved = solve(program, NullabilityAnalysis(program))
     found: list[Diagnostic] = []
     for relation in stratify(program):
-        rules = program.rules_for(relation)
-        if relation in program.intermediates:
-            # Infer the tmp relation's nullability from its defining rules.
-            arity = program.intermediates[relation]
-            inferred = [False] * arity
-            for rule in rules:
-                for index, term in enumerate(rule.head.terms[:arity]):
-                    if _term_null_status(term, rule, nullability) != _NO:
-                        inferred[index] = True
-            nullability[relation] = inferred
-            continue
-        if relation not in target:
+        if relation in program.intermediates or relation not in target:
             continue
         attributes = target.relation(relation).attributes
-        for rule in rules:
+        for rule in program.rules_for(relation):
             for index, term in enumerate(rule.head.terms):
                 if index >= len(attributes) or attributes[index].nullable:
                     continue
-                status = _term_null_status(term, rule, nullability)
-                if status == _NO:
-                    continue
+                status = rule_term_status(term, rule, solved.env)
+                if status in (NO, BOTTOM):
+                    continue  # never null, or the rule cannot fire at all
                 attribute = attributes[index]
                 certainty = (
-                    "always null" if status == _NULL else "may be null"
+                    "always null" if status == YES else "may be null"
                 )
                 found.append(
                     diagnostic(
@@ -195,7 +138,7 @@ def null_flow_diagnostics(program: DatalogProgram) -> list[Diagnostic]:
                         f"{relation}.{attribute.name} {certainty} in rule "
                         f"{rule!r}",
                         subject=f"{relation}.{attribute.name}",
-                        severity=ERROR if status == _NULL else WARNING,
+                        severity=ERROR if status == YES else WARNING,
                     )
                 )
     return found

@@ -132,6 +132,25 @@ CODES: dict[str, CodeInfo] = {
                  "A rule dropped by query optimization has no containment "
                  "certificate, or the optimized program disagrees with the "
                  "unoptimized one on a canonical instance."),
+        CodeInfo("FLW001", "dead correspondence: only null can reach the target",
+                 WARNING, "§5.3",
+                 "The provenance fixpoint proves that only the unlabeled "
+                 "null value can reach a correspondence-targeted position; "
+                 "the correspondence never delivers a source value."),
+        CodeInfo("FLW002", "mandatory attribute fed only by invented values",
+                 WARNING, "§5.3",
+                 "Every value the generated rules place in a non-nullable, "
+                 "non-key target attribute is a Skolem (labeled-null) value; "
+                 "no source value ever reaches the column.  Inventing keys "
+                 "is §5.1's intended mechanism, so key attributes are "
+                 "exempt."),
+        CodeInfo("FLW003", "functionality not statically confirmed", WARNING,
+                 "§6",
+                 "The static FD closure could not prove that a target rule's "
+                 "non-key attributes are functionally determined by its key "
+                 "(Algorithm 4, step 2).  The dynamic check in "
+                 "repro.core.functionality decides exactly; this warning "
+                 "marks rules whose functionality rests on it."),
         CodeInfo("SEM004", "resolution certificate failure", ERROR, "§6",
                  "Key-conflict resolution produced a program that violates a "
                  "target key on a canonical instance, or rewrote a mapping "

@@ -1,0 +1,229 @@
+"""Key-origin analysis: are target keys grounded in source keys (§4, §6)?
+
+The paper's referenced-attribute correspondences route values along foreign
+key paths (§4), and Algorithm 4 demands that every unitary mapping be
+*functional*: the non-key attributes of the produced tuples must be
+functionally determined by the key (§6).  This module checks both facts
+statically, without running the chase:
+
+* the **flow analysis** grades every position on the chain
+  ``BOTTOM ⊑ SKEY ⊑ DET ⊑ OPEN`` (ranked worst-last):
+
+  - ``SKEY`` — the value is a source key value, a copy of one along a
+    mandatory foreign key to a simple key, or an injective (Skolem) image
+    of determined values: knowing the source keys pins it down, and it is
+    itself key-grade;
+  - ``DET`` — the value is a function of source key attributes (every
+    source attribute qualifies, by its own relation's key → row FD);
+  - ``OPEN`` — no static determination is known;
+
+* the **functionality confirmation** replays Algorithm 4's check per target
+  rule: seed the determined-variable set from the head's key terms (Skolem
+  functors are injective, so a key term ``f(x, y)`` determines ``x`` and
+  ``y``), close it under source key → row FDs and rule equalities, and
+  require every non-key head term to be determined.  ``FLW003`` reports the
+  rules the closure cannot confirm — a warning, because the closure is
+  sound but incomplete where the dynamic check of
+  :mod:`repro.core.functionality` decides exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...datalog.program import DatalogProgram, Rule
+from ...logic.terms import Constant, NullTerm, SkolemTerm, Term, Variable
+from .lattice import RankedLattice
+from .solver import Environment
+
+BOTTOM_GRADE = "bottom"
+SKEY = "skey"
+DET = "det"
+OPEN = "open"
+
+_CHAIN = (BOTTOM_GRADE, SKEY, DET, OPEN)
+
+
+class _KeyOriginLattice(RankedLattice):
+    def __init__(self) -> None:
+        super().__init__(_CHAIN)
+
+    def meet(self, left: str, right: str) -> str:
+        """Greatest lower bound: a chain's meet is the lower rank."""
+        return left if self._rank[left] <= self._rank[right] else right
+
+
+class KeyOriginAnalysis:
+    """Per-position determination grades over one Datalog program."""
+
+    name = "keyorigin"
+    lattice = _KeyOriginLattice()
+
+    def __init__(self, program: DatalogProgram):
+        self._program = program
+
+    def seed(self, relation: str, position: int) -> str:
+        source = self._program.source_schema
+        if source is not None and relation in source:
+            rel = source.relation(relation)
+            if position >= rel.arity:  # pragma: no cover - malformed atom
+                return OPEN
+            attribute = rel.attributes[position]
+            if position in rel.key_positions():
+                return SKEY
+            fk = source.foreign_key_from(relation, attribute.name)
+            if fk is not None and not attribute.nullable:
+                # A mandatory FK to a (necessarily simple, §3.1) key: the
+                # value always equals a key value of the referenced relation.
+                return SKEY
+            return DET  # any source attribute is determined by its own key
+        return OPEN
+
+    def _variable_grades(self, rule: Rule, env: Environment) -> dict[Variable, str]:
+        lattice = self.lattice
+        grades: dict[Variable, str] = {}
+        for var in rule.body_variables():
+            grade = OPEN
+            for value in env.variable(rule, var):
+                grade = lattice.meet(grade, value)
+            grades[var] = grade
+        for var in rule.null_vars:
+            if var in grades:  # always null: fully determined, key-grade
+                grades[var] = SKEY
+        for equality in rule.equalities:
+            for var, other in (
+                (equality.left, equality.right),
+                (equality.right, equality.left),
+            ):
+                if isinstance(var, Variable) and isinstance(other, Constant):
+                    if var in grades:
+                        grades[var] = SKEY
+        changed = True
+        while changed:  # propagate var = var equalities to a fixpoint
+            changed = False
+            for equality in rule.equalities:
+                left, right = equality.left, equality.right
+                if isinstance(left, Variable) and isinstance(right, Variable):
+                    if left in grades and right in grades:
+                        best = lattice.meet(grades[left], grades[right])
+                        if grades[left] != best or grades[right] != best:
+                            grades[left] = grades[right] = best
+                            changed = True
+        return grades
+
+    def _term_grade(self, term: Term, grades: dict[Variable, str]) -> str:
+        if isinstance(term, (Constant, NullTerm)):
+            return SKEY  # fixed values: trivially determined, usable as keys
+        if isinstance(term, Variable):
+            return grades.get(term, OPEN)
+        if isinstance(term, SkolemTerm):
+            for var in term.variables():
+                if not self.lattice.leq(grades.get(var, OPEN), DET):
+                    return OPEN  # an undetermined argument: image is open
+            return SKEY  # injective image of determined values
+        return OPEN  # pragma: no cover - defensive
+
+    def transfer(self, rule: Rule, env: Environment) -> list[str]:
+        grades = self._variable_grades(rule, env)
+        return [self._term_grade(term, grades) for term in rule.head.terms]
+
+
+@dataclass(frozen=True)
+class FunctionalityRecord:
+    """The static outcome of Algorithm 4's functionality check for one rule."""
+
+    rule: Rule
+    relation: str
+    confirmed: bool
+    #: Names of the target attributes the closure could not determine.
+    undetermined: tuple[str, ...] = ()
+
+
+def _determined_closure(rule: Rule, seed: set[Variable], program: DatalogProgram) -> set[Variable]:
+    """Close ``seed`` under source key → row FDs and rule equalities."""
+    source = program.source_schema
+    determined = set(seed)
+    determined.update(rule.null_vars)  # always-null variables are fixed
+    for equality in rule.equalities:
+        for var, other in (
+            (equality.left, equality.right),
+            (equality.right, equality.left),
+        ):
+            if isinstance(var, Variable) and isinstance(other, Constant):
+                determined.add(var)
+    changed = True
+    while changed:
+        changed = False
+        for equality in rule.equalities:
+            left, right = equality.left, equality.right
+            if isinstance(left, Variable) and isinstance(right, Variable):
+                if (left in determined) != (right in determined):
+                    determined.update((left, right))
+                    changed = True
+        for atom in rule.body:
+            if source is None or atom.relation not in source:
+                continue  # no FD known for intermediate or opaque relations
+            rel = source.relation(atom.relation)
+            key_terms = [
+                atom.terms[position]
+                for position in rel.key_positions()
+                if position < len(atom.terms)
+            ]
+            if all(
+                not isinstance(term, Variable) or term in determined
+                for term in key_terms
+            ):
+                for var in atom.variables():
+                    if var not in determined:
+                        determined.add(var)
+                        changed = True
+    return determined
+
+
+def _term_determined(term: Term, determined: set[Variable]) -> bool:
+    if isinstance(term, (Constant, NullTerm)):
+        return True
+    if isinstance(term, Variable):
+        return term in determined
+    if isinstance(term, SkolemTerm):
+        return all(var in determined for var in term.variables())
+    return False  # pragma: no cover - defensive
+
+
+def functionality_records(program: DatalogProgram) -> list[FunctionalityRecord]:
+    """Replay Algorithm 4's functionality check statically, rule by rule.
+
+    Only rules over target schema relations are graded (intermediates have
+    no declared key to be functional against).
+    """
+    target = program.target_schema
+    if target is None:
+        return []
+    records: list[FunctionalityRecord] = []
+    for rule in program.target_rules():
+        relation = rule.head_relation
+        if relation not in target:
+            continue
+        rel = target.relation(relation)
+        key_positions = set(rel.key_positions())
+        seed: set[Variable] = set()
+        for position in sorted(key_positions):
+            if position < len(rule.head.terms):
+                seed.update(rule.head.terms[position].variables())
+        determined = _determined_closure(rule, seed, program)
+        undetermined = tuple(
+            rel.attributes[position].name
+            for position, term in enumerate(rule.head.terms)
+            if position < rel.arity
+            and position not in key_positions
+            and not _term_determined(term, determined)
+        )
+        records.append(
+            FunctionalityRecord(
+                rule=rule,
+                relation=relation,
+                confirmed=not undetermined,
+                undetermined=undetermined,
+            )
+        )
+    return records

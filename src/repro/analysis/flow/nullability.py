@@ -1,0 +1,92 @@
+"""The three-valued nullability analysis (``NO`` / ``YES`` / ``MAYBE``).
+
+This is the flow-sensitive half of the paper's null story: coverage levels
+``mand | null | nonnull`` (§5) put ``x = null`` / ``x ≠ null`` conditions on
+the generated rules, and nullable source attributes (§3.1) inject possible
+nulls at the leaves.  The analysis answers, for every position of every
+defined relation, "can the value here be the unlabeled null?":
+
+* ``NO`` — never null (constants, Skolem terms — invented values are
+  labeled nulls, which the data model keeps distinct from ``null`` — and
+  variables constrained non-null);
+* ``YES`` — always null whenever a row reaches the position;
+* ``MAYBE`` — either;
+* ``BOTTOM`` — no row ever reaches the position.
+
+``DLG010`` is a thin client of this analysis: it re-evaluates the head terms
+of the target rules under the solved environment and flags mandatory target
+columns whose status is not ``NO``.
+"""
+
+from __future__ import annotations
+
+from ...datalog.program import DatalogProgram, Rule
+from ...logic.terms import Constant, NullTerm, SkolemTerm, Term, Variable
+from .lattice import BOTTOM, MAYBE, NO, YES, NullabilityLattice
+from .solver import Environment
+
+_LATTICE = NullabilityLattice()
+
+
+def rule_term_status(term: Term, rule: Rule, env: Environment) -> str:
+    """The nullability of one rule term under the rule's own conditions.
+
+    Shared by the solver transfer function and the ``DLG010`` check, so the
+    diagnostic and the fixpoint can never disagree on a term.  Variables take
+    the *meet* over every position binding them — a value bound at several
+    positions satisfies all of them, so ``NO ⊓ YES = BOTTOM`` means the rule
+    can never fire with that binding.
+    """
+    if isinstance(term, NullTerm):
+        return YES
+    if isinstance(term, (Constant, SkolemTerm)):
+        return NO  # constants and invented (labeled-null) values are never null
+    if not isinstance(term, Variable):  # pragma: no cover - defensive
+        return MAYBE
+    if term in rule.nonnull_vars:
+        return NO
+    if term in rule.null_vars:
+        return YES
+    for equality in rule.equalities:
+        if (equality.left is term and isinstance(equality.right, Constant)) or (
+            equality.right is term and isinstance(equality.left, Constant)
+        ):
+            return NO  # equated to a constant: the binding is that constant
+    for disequality in rule.disequalities:
+        if (disequality.left is term and isinstance(disequality.right, NullTerm)) or (
+            disequality.right is term and isinstance(disequality.left, NullTerm)
+        ):
+            return NO
+    status = MAYBE
+    for value in env.variable(rule, term):
+        status = _LATTICE.meet(status, value)
+    # Bound only at nullable/unknown positions — or unbound, which DLG001
+    # reports separately.  Either way the value may be null.
+    return status
+
+
+class NullabilityAnalysis:
+    """Per-position "can this be null?" over one Datalog program."""
+
+    name = "nullability"
+    lattice = _LATTICE
+
+    def __init__(self, program: DatalogProgram):
+        self._program = program
+
+    def seed(self, relation: str, position: int) -> str:
+        for schema in (self._program.source_schema, self._program.target_schema):
+            if schema is not None and relation in schema:
+                attributes = schema.relation(relation).attributes
+                if position < len(attributes):
+                    return MAYBE if attributes[position].nullable else NO
+        return MAYBE  # opaque relation: anything may sit there
+
+    def transfer(self, rule: Rule, env: Environment) -> list[str] | None:
+        row = []
+        for term in rule.head.terms:
+            status = rule_term_status(term, rule, env)
+            if status == BOTTOM:
+                return None  # an unsatisfiable binding: the rule derives nothing
+            row.append(status)
+        return row

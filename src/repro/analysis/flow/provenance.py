@@ -1,0 +1,104 @@
+"""Source-provenance analysis: which origins can feed each position.
+
+The abstract value of a position is the *set of origins* whose values can
+reach it — the flow-sensitive refinement of the coverage analysis of §5.2:
+coverage asks whether a correspondence exists on paper, provenance asks
+whether a source value actually survives the generated rules into the
+target column.  Origins are small tagged tuples:
+
+* ``("source", relation, attribute)`` — a source schema position;
+* ``("skolem", functor)`` — a value invented by a Skolem functor (§5.1);
+* ``("const",)`` — a rule constant (Clio-style filters);
+* ``("null",)`` — the unlabeled null;
+* ``("extern", relation)`` — a position of a relation no schema describes.
+
+Two diagnostics read the solved state (see :mod:`.report`):
+
+* ``FLW001`` — a correspondence-targeted position only ``("null",)`` can
+  reach: the correspondence is dead, every delivered value is null;
+* ``FLW002`` — a mandatory non-key target position fed by Skolem values
+  only: the column is populated, but purely with invented values, which
+  usually means a correspondence was meant to cover it (§5.3/§6).
+"""
+
+from __future__ import annotations
+
+from ...datalog.program import DatalogProgram, Rule
+from ...logic.terms import Constant, NullTerm, SkolemTerm, Term, Variable
+from .lattice import SetLattice
+from .solver import Environment
+
+#: Origin constructors, kept as plain tuples so sets render deterministically.
+NULL_ORIGIN = ("null",)
+CONST_ORIGIN = ("const",)
+
+
+def source_origin(relation: str, attribute: str) -> tuple:
+    return ("source", relation, attribute)
+
+
+def skolem_origin(functor: str) -> tuple:
+    return ("skolem", functor)
+
+
+def extern_origin(relation: str) -> tuple:
+    return ("extern", relation)
+
+
+def format_origin(origin: tuple) -> str:
+    tag = origin[0]
+    if tag == "source":
+        return f"{origin[1]}.{origin[2]}"
+    if tag == "skolem":
+        return f"{origin[1]}(...)"
+    if tag == "extern":
+        return f"extern:{origin[1]}"
+    return tag  # "const", "null"
+
+
+class _ProvenanceLattice(SetLattice):
+    def format(self, value: frozenset) -> str:
+        if not value:
+            return "{}"
+        return "{" + ", ".join(sorted(format_origin(o) for o in value)) + "}"
+
+
+class ProvenanceAnalysis:
+    """Per-position origin sets over one Datalog program."""
+
+    name = "provenance"
+    lattice = _ProvenanceLattice()
+
+    def __init__(self, program: DatalogProgram):
+        self._program = program
+
+    def seed(self, relation: str, position: int) -> frozenset:
+        source = self._program.source_schema
+        if source is not None and relation in source:
+            attributes = source.relation(relation).attributes
+            if position < len(attributes):
+                origins = {source_origin(relation, attributes[position].name)}
+                if attributes[position].nullable:
+                    origins.add(NULL_ORIGIN)
+                return frozenset(origins)
+        return frozenset({extern_origin(relation)})
+
+    def _term_origins(self, term: Term, rule: Rule, env: Environment) -> frozenset:
+        if isinstance(term, NullTerm):
+            return frozenset({NULL_ORIGIN})
+        if isinstance(term, Constant):
+            return frozenset({CONST_ORIGIN})
+        if isinstance(term, SkolemTerm):
+            # The produced value is the invented one whatever its arguments.
+            return frozenset({skolem_origin(term.functor)})
+        if not isinstance(term, Variable):  # pragma: no cover - defensive
+            return frozenset()
+        origins = self.lattice.join_all(env.variable(rule, term))
+        if term in rule.nonnull_vars:
+            origins -= {NULL_ORIGIN}  # the condition filters null bindings out
+        if term in rule.null_vars:
+            origins = frozenset({NULL_ORIGIN})  # only the null binding survives
+        return origins
+
+    def transfer(self, rule: Rule, env: Environment) -> list[frozenset]:
+        return [self._term_origins(term, rule, env) for term in rule.head.terms]

@@ -19,6 +19,11 @@ Usage (after installation, via ``python -m repro``):
 * ``python -m repro minimize problem.txt`` (or ``--scenario NAME``) —
   semantically minimize the generated transformation via chase-based
   containment and print the removal witnesses;
+* ``python -m repro flow problem.txt`` (or ``--scenario NAME``) — dump the
+  abstract-interpretation fixpoint over the generated program: per-position
+  nullability, source provenance and key-origin, the static functionality
+  confirmations, and the ``FLW*`` findings (``--json`` for a
+  machine-readable dump);
 * ``python -m repro reproduce`` — re-run every figure/example of the paper
   and print the paper-vs-measured verdict table.
 
@@ -279,6 +284,57 @@ def cmd_minimize(args) -> int:
     return 0
 
 
+def _resolve_problem(args) -> MappingProblem | None:
+    """A problem from a positional path or ``--scenario NAME`` (or None)."""
+    if args.scenario:
+        from . import scenarios
+
+        bundled = scenarios.bundled_problems()
+        if args.scenario not in bundled:
+            print(
+                f"error: unknown scenario {args.scenario!r}; "
+                f"available: {', '.join(sorted(bundled))}",
+                file=sys.stderr,
+            )
+            return None
+        return bundled[args.scenario]
+    if args.problem:
+        return _load_problem(args.problem)
+    print("error: pass a problem file or --scenario NAME", file=sys.stderr)
+    return None
+
+
+def cmd_flow(args) -> int:
+    """Dump the flow engine's solved abstract state for one problem."""
+    problem = _resolve_problem(args)
+    if problem is None:
+        return 2
+    system = MappingSystem(problem, algorithm=args.algorithm)
+    report = system.flow_report()
+    if args.json:
+        payload = {
+            "problem": problem.name,
+            "algorithm": args.algorithm,
+            "states": report.states(),
+            "stats": report.stats(),
+            "functionality": [
+                {
+                    "relation": record.relation,
+                    "rule": repr(record.rule),
+                    "confirmed": record.confirmed,
+                    "undetermined": list(record.undetermined),
+                }
+                for record in report.functionality
+            ],
+            "diagnostics": [item.render() for item in report.diagnostics],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"# {problem.name}: flow analysis ({args.algorithm})")
+        print(report.render())
+    return 0
+
+
 def cmd_lint(args) -> int:
     from .analysis.analyzer import analyze
     from .analysis.diagnostics import (
@@ -321,7 +377,8 @@ def cmd_lint(args) -> int:
 
     reports: list[AnalysisReport] = []
     for name, problem, parse_diags in subjects:
-        report = analyze(problem, deep=not args.no_deep, algorithm=args.algorithm)
+        report = analyze(problem, deep=not args.no_deep, algorithm=args.algorithm,
+                         flow=args.flow)
         if args.semantic or args.verify_optimizations:
             report.extend(
                 _semantic_lint(
@@ -521,6 +578,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     minimize_parser.set_defaults(func=cmd_minimize)
 
+    flow_parser = sub.add_parser(
+        "flow",
+        help="dump the abstract-interpretation fixpoint over the generated "
+             "program (nullability, provenance, key-origin)",
+    )
+    flow_parser.add_argument(
+        "problem", nargs="?", help="problem file (.txt DSL or .json)"
+    )
+    flow_parser.add_argument(
+        "--scenario", metavar="NAME", help="analyze one bundled scenario"
+    )
+    flow_parser.add_argument(
+        "--algorithm", choices=[BASIC, NOVEL], default=NOVEL,
+        help="basic = Clio-style Algorithms 1+2; novel = the paper's 3+4",
+    )
+    flow_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the per-position states, solver stats, functionality "
+             "records and findings as JSON",
+    )
+    flow_parser.set_defaults(func=cmd_flow)
+
     lint_parser = sub.add_parser(
         "lint", help="statically analyze problems (schemas, mappings, Datalog)"
     )
@@ -542,6 +621,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--no-deep", action="store_true",
         help="static checks only: skip the pipeline-backed MAP/DLG checks",
+    )
+    lint_parser.add_argument(
+        "--flow", action="store_true",
+        help="also run the abstract-interpretation flow engine over the "
+             "generated program (FLW001/FLW002/FLW003 findings)",
     )
     lint_parser.add_argument(
         "--semantic", action="store_true",

@@ -105,6 +105,7 @@ class MappingSystem:
         self._query_result: QueryGenerationResult | None = None
         self._last_evaluation: EvaluationResult | None = None
         self._verification_report = None
+        self._flow_report = None
         self._fingerprint = self._problem_fingerprint()
         #: the AnalysisReport of the most recent :meth:`compile` quick lint
         self.lint_report = None
@@ -128,6 +129,7 @@ class MappingSystem:
             self._query_result = None
             self._last_evaluation = None
             self._verification_report = None
+            self._flow_report = None
 
     # -- stage 1: schema mapping generation --------------------------------
 
@@ -198,7 +200,25 @@ class MappingSystem:
     def transformation(self) -> DatalogProgram:
         return self.query_result().program
 
-    def compile(self, strict: bool = True) -> DatalogProgram:
+    def flow_report(self):
+        """Run (and cache) the flow engine over the generated program.
+
+        Returns the :class:`repro.analysis.flow.FlowReport` with the solved
+        nullability / provenance / key-origin fixpoints, the static
+        functionality confirmations, and the ``FLW*`` diagnostics (with DSL
+        spans when the problem carries correspondence spans).  Forces the
+        pipeline stages.
+        """
+        from ..analysis.flow import analyze_flow
+
+        self._check_fresh()
+        if self._flow_report is None:
+            program = self.transformation
+            with self._traced():
+                self._flow_report = analyze_flow(program, self.problem)
+        return self._flow_report
+
+    def compile(self, strict: bool = True, flow: bool = False) -> DatalogProgram:
         """Lint cheaply, then run both pipeline stages and return the program.
 
         The lint pass is the always-on subset of the static analyzer
@@ -209,6 +229,12 @@ class MappingSystem:
         flow through the tracer when the system was created with
         ``trace=True``.  With ``strict`` (the default) the first lint error
         aborts compilation; warnings never do.
+
+        With ``flow=True`` the flow engine (:meth:`flow_report`) runs after
+        query generation and its ``FLW*`` findings are appended to
+        :attr:`lint_report`.  ``FLW*`` codes are warnings, so they never
+        abort a strict compile; they do make the flow-certified state of the
+        program visible to callers inspecting the report.
         """
         from ..analysis.analyzer import quick_lint
         from ..obs import span as obs_span, stage_report
@@ -225,7 +251,10 @@ class MappingSystem:
                 f"lint failed for {self.problem.name!r}: {first.render()}",
                 diagnostic=first,
             )
-        return self.transformation
+        program = self.transformation
+        if flow:
+            report.extend(self.flow_report().diagnostics)
+        return program
 
     # -- execution -----------------------------------------------------------
 

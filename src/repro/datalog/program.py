@@ -114,6 +114,24 @@ class DatalogProgram:
     def rules_for(self, relation: str) -> list[Rule]:
         return [r for r in self.rules if r.head_relation == relation]
 
+    def relation_arity(self, name: str) -> int | None:
+        """The arity of ``name``, from any layer that knows it.
+
+        Intermediates record their arity directly; schema relations take it
+        from their attribute list; a defined relation known to neither falls
+        back to its first rule's head width.  ``None`` for relations this
+        program has never heard of.
+        """
+        if name in self.intermediates:
+            return self.intermediates[name]
+        for schema in (self.source_schema, self.target_schema):
+            if schema is not None and name in schema:
+                return schema.relation(name).arity
+        for rule in self.rules:
+            if rule.head_relation == name:
+                return len(rule.head.terms)
+        return None
+
     def target_rules(self) -> list[Rule]:
         """Rules defining target relations (not intermediates)."""
         return [r for r in self.rules if r.head_relation not in self.intermediates]

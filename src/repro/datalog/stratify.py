@@ -38,6 +38,23 @@ def dependencies(program: "DatalogProgram") -> dict[str, set[str]]:
     return graph
 
 
+def readers(program: "DatalogProgram") -> dict[str, set[str]]:
+    """The reverse dependency graph: who reads each defined relation.
+
+    ``readers(p)[r]`` is the set of defined relations with a rule whose body
+    or negation mentions ``r``.  Shared by the flow engine's worklist solver
+    (re-enqueue the readers of a relation whose abstract state changed) and
+    kept here next to :func:`dependencies` so both directions of the graph
+    come from one definition.
+    """
+    graph = dependencies(program)
+    reverse: dict[str, set[str]] = {name: set() for name in graph}
+    for reader, reads in graph.items():
+        for read in reads:
+            reverse[read].add(reader)
+    return reverse
+
+
 def _closing_rule(
     program: "DatalogProgram", reader: str, read: str
 ) -> "Rule | None":

@@ -255,6 +255,95 @@ class TestSemanticLint:
         assert "<-" in capsys.readouterr().out
 
 
+UNCOVERED_TEXT = """
+source schema S:
+  relation R (a key)
+target schema T:
+  relation P (a key, b)
+correspondences:
+  R.a -> P.a
+"""
+
+
+class TestFlow:
+    @pytest.fixture
+    def uncovered_file(self, tmp_path):
+        path = tmp_path / "uncovered.txt"
+        path.write_text(UNCOVERED_TEXT)
+        return str(path)
+
+    def test_flow_dump(self, problem_file, capsys):
+        assert main(["flow", problem_file]) == 0
+        out = capsys.readouterr().out
+        assert "flow analysis" in out
+        assert "relation C2" in out
+        assert "null=" in out and "origins=" in out
+        assert "functionality (Algorithm 4, static):" in out
+
+    def test_flow_scenario(self, capsys):
+        assert main(["flow", "--scenario", "figure-1"]) == 0
+        out = capsys.readouterr().out
+        assert "flow fixpoint over" in out
+        assert "OCtmp" in out  # intermediates are dumped too
+
+    def test_flow_scenario_with_findings(self, capsys):
+        assert main(["flow", "--scenario", "appendix-A.3"]) == 0
+        out = capsys.readouterr().out
+        assert "diagnostics:" in out
+        assert "FLW002" in out
+
+    def test_flow_json_shape(self, problem_file, capsys):
+        assert main(["flow", problem_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "problem", "algorithm", "states", "stats",
+            "functionality", "diagnostics",
+        }
+        assert set(payload["states"]) == {
+            "nullability", "provenance", "keyorigin"
+        }
+        for stats in payload["stats"].values():
+            assert stats["iterations"] == stats["relations"]
+        assert all(entry["confirmed"] for entry in payload["functionality"])
+
+    def test_flow_basic_algorithm(self, problem_file, capsys):
+        assert main(["flow", problem_file, "--algorithm", "basic"]) == 0
+        assert "OCtmp" not in capsys.readouterr().out
+
+    def test_flow_needs_a_problem(self, capsys):
+        assert main(["flow"]) == 2
+
+    def test_flow_unknown_scenario(self, capsys):
+        assert main(["flow", "--scenario", "no-such-scenario"]) == 2
+
+    def test_lint_flow_reports_flw(self, uncovered_file, capsys):
+        assert main(["lint", uncovered_file, "--flow"]) == 0
+        out = capsys.readouterr().out
+        assert "FLW002" in out
+        assert "P.b" in out
+
+    def test_lint_without_flow_has_no_flw(self, uncovered_file, capsys):
+        assert main(["lint", uncovered_file]) == 0
+        assert "FLW" not in capsys.readouterr().out
+
+    def test_lint_flow_clean_problem(self, problem_file, capsys):
+        assert main(["lint", problem_file, "--flow"]) == 0
+        assert "FLW" not in capsys.readouterr().out
+
+    def test_lint_flow_sarif(self, uncovered_file, tmp_path):
+        sarif_path = tmp_path / "flow.sarif"
+        assert main(["lint", uncovered_file, "--flow",
+                     "--sarif-out", str(sarif_path)]) == 0
+        log = json.loads(sarif_path.read_text())
+        run = log["runs"][0]
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"FLW001", "FLW002", "FLW003"} <= rule_ids
+        flw = [r for r in run["results"] if r["ruleId"] == "FLW002"]
+        assert flw and flw[0]["level"] == "warning"
+        region = flw[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 5  # the declaration line of P.b
+
+
 class TestTelemetry:
     def test_compile_trace_prints_run_report(self, problem_file, capsys):
         assert main(["compile", problem_file, "--trace"]) == 0

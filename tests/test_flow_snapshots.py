@@ -1,0 +1,107 @@
+"""Golden abstract-state snapshots and the nullability soundness check.
+
+Two acceptance-level guarantees live here:
+
+* the solved per-position abstract states of every bundled scenario match
+  the checked-in fixture ``tests/fixtures/flow_states.json`` verbatim —
+  any change to a lattice, a transfer function or query generation that
+  shifts an abstract value shows up as a reviewable fixture diff;
+* the nullability verdicts are *sound* with respect to the engine: on the
+  canonical instances the semantic verifier builds for each scenario, a
+  position the analysis grades ``NO`` never holds the unlabeled null in any
+  evaluated row, and a position graded ``YES`` always does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.flow import NO, YES, analyze_flow
+from repro.analysis.semantic.verifier import canonical_instances
+from repro.core.pipeline import MappingSystem
+from repro.datalog.engine import evaluate
+from repro.model.validation import validate_instance
+from repro.model.values import LabeledNull, is_null
+from repro.scenarios import bundled_problems
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "flow_states.json")
+
+
+def _golden():
+    with open(FIXTURE) as handle:
+        return json.load(handle)
+
+
+def _scenario_names():
+    return sorted(bundled_problems())
+
+
+class TestGoldenStates:
+    def test_fixture_covers_every_bundled_scenario(self):
+        assert sorted(_golden()) == _scenario_names()
+
+    @pytest.mark.parametrize("name", _scenario_names())
+    def test_states_match_fixture(self, name):
+        problem = bundled_problems()[name]
+        report = MappingSystem(problem).flow_report()
+        expected = _golden()[name]
+        assert report.states() == expected, (
+            f"abstract states drifted for {name!r}; if the change is "
+            "intentional, regenerate tests/fixtures/flow_states.json"
+        )
+
+    def test_fixture_has_all_three_analyses(self):
+        for name, states in _golden().items():
+            assert set(states) == {"nullability", "provenance", "keyorigin"}, name
+            relations = {
+                analysis: sorted(per_relation)
+                for analysis, per_relation in states.items()
+            }
+            # The three analyses describe the same program: same relations.
+            assert (
+                relations["nullability"]
+                == relations["provenance"]
+                == relations["keyorigin"]
+            ), name
+
+
+def _unlabeled_null(value):
+    return is_null(value) and not isinstance(value, LabeledNull)
+
+
+class TestNullabilitySoundness:
+    """Cross-check the abstract verdicts against concrete evaluation."""
+
+    @pytest.mark.parametrize("name", _scenario_names())
+    def test_verdicts_hold_on_canonical_instances(self, name):
+        problem = bundled_problems()[name]
+        program = MappingSystem(problem).transformation
+        report = analyze_flow(program, problem)
+        nullability = report.nullability
+
+        checked = 0
+        for label, instance in canonical_instances(program):
+            if not validate_instance(instance).ok:
+                continue  # the verifier also builds deliberately broken ones
+            result = evaluate(program, instance)
+            rows = [
+                (relation, row) for relation, row in result.target.facts()
+            ]
+            for relation, derived in result.intermediates.items():
+                rows.extend((relation, row) for row in derived)
+            for relation, row in rows:
+                for position, value in enumerate(row):
+                    status = nullability.value(relation, position)
+                    if status == NO:
+                        assert not _unlabeled_null(value), (
+                            name, label, relation, position, value
+                        )
+                    elif status == YES:
+                        assert _unlabeled_null(value), (
+                            name, label, relation, position, value
+                        )
+                    checked += 1
+        assert checked > 0, f"no canonical instance evaluated for {name!r}"
