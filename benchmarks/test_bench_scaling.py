@@ -1,10 +1,19 @@
-"""Scaling: basic vs novel pipelines on synthetic CARS instances.
+"""Scaling: pipelines and engines on synthetic CARS instances.
 
 The paper reports no measurements; these benchmarks characterize the
-implementation: transformation runtime against instance size, and the
-quality gap (target size, invented values, key violations) that the novel
-algorithms eliminate at every scale.
+implementation: transformation runtime against instance size, the quality
+gap (target size, invented values, key violations) that the novel
+algorithms eliminate at every scale, and the reference-interpreter vs
+batch-runtime comparison.  After the module finishes, the per-engine wall
+times are serialized to ``BENCH_scaling.json`` at the repository root so
+the speedup can be diffed across revisions.  Run with::
+
+    pytest benchmarks/test_bench_scaling.py --benchmark-only
 """
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
@@ -14,7 +23,33 @@ from repro.exchange.metrics import measure_instance
 from repro.scenarios.cars import figure1_problem, figure12_problem, figure14_problem
 from repro.scenarios.synthetic import cars2_instance, cars3_instance, cars4_instance
 
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_scaling.json"
+
 SIZES = [100, 400, 1600]
+
+#: (label, problem factory, instance factory) — the engine-comparison sweep;
+#: the differential harness checks the same workloads for agreement.
+WORKLOADS = [
+    (
+        "figure1-cars3",
+        figure1_problem,
+        lambda n: cars3_instance(n_persons=n // 2, n_cars=n, ownership=0.6, seed=n),
+    ),
+    (
+        "figure12-cars4",
+        figure12_problem,
+        lambda n: cars4_instance(n_persons=n // 2, n_cars=n, seed=n),
+    ),
+    (
+        "figure14-cars2",
+        figure14_problem,
+        lambda n: cars2_instance(n_persons=n // 2, n_cars=n, seed=n),
+    ),
+]
+
+#: label -> size -> engine -> best wall seconds observed.
+_timings: dict[str, dict[int, dict[str, float]]] = {}
 
 
 @pytest.mark.parametrize("size", SIZES)
@@ -89,3 +124,65 @@ def test_generation_cost_is_data_independent(benchmark):
 
     program = benchmark(run)
     assert len(program.rules) == 4
+
+
+@pytest.mark.parametrize("engine", MappingSystem.ENGINES)
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize(
+    "label,problem_factory,instance_factory",
+    WORKLOADS,
+    ids=[w[0] for w in WORKLOADS],
+)
+def test_engine_scaling(benchmark, label, problem_factory, instance_factory, size, engine):
+    """Reference interpreter vs compiled batch runtime on one workload."""
+    system = MappingSystem(problem_factory())
+    system.transformation  # exclude generation from the timing
+    source = instance_factory(size)
+
+    def run():
+        started = time.perf_counter()
+        result = system.run(source, engine=engine)
+        return result, time.perf_counter() - started
+
+    result, elapsed = benchmark(run)
+    assert result.target.total_size() > 0
+    benchmark.extra_info.update(
+        {
+            "engine": engine,
+            "source_tuples": source.total_size(),
+            "target_tuples": result.target.total_size(),
+        }
+    )
+    per_size = _timings.setdefault(label, {}).setdefault(size, {})
+    per_size[engine] = min(per_size.get(engine, float("inf")), elapsed)
+
+
+def test_batch_engine_speedup_on_largest_workload():
+    """Acceptance: batch is at least 2x faster on the largest CARS workload."""
+    recorded = _timings.get("figure1-cars3", {}).get(max(SIZES), {})
+    if "reference" not in recorded or "batch" not in recorded:
+        pytest.skip("engine scaling benchmarks did not run in this session")
+    speedup = recorded["reference"] / recorded["batch"]
+    assert speedup >= 2.0, f"batch speedup {speedup:.2f}x < 2x on figure1-cars3"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_report():
+    """Serialize the engine timings once the module's benchmarks ran."""
+    yield
+    if not _timings:
+        return
+    payload = {}
+    for label in sorted(_timings):
+        payload[label] = {}
+        for size in sorted(_timings[label]):
+            engines = _timings[label][size]
+            entry = {
+                engine: round(seconds, 6) for engine, seconds in engines.items()
+            }
+            if "reference" in engines and "batch" in engines:
+                entry["speedup"] = round(
+                    engines["reference"] / engines["batch"], 2
+                )
+            payload[label][str(size)] = entry
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -6,9 +6,13 @@ Usage (after installation, via ``python -m repro``):
   generated transformation (``--sql`` for the SQL translation, ``--algorithm
   basic`` for the Clio-style baseline);
 * ``python -m repro run problem.txt instance.txt`` — execute the
-  transformation on an instance (``--engine sqlite`` runs on SQLite,
-  ``--enforce`` with real constraints; ``--validate`` prints the target
-  constraint report);
+  transformation on an instance (``--engine batch`` for the planned
+  set-oriented runtime, ``--workers N`` to partition large scans across
+  processes; ``--engine sqlite`` runs on SQLite, ``--enforce`` with real
+  constraints; ``--validate`` prints the target constraint report);
+* ``python -m repro plan problem.txt`` (or ``--scenario NAME``) — dump the
+  batch runtime's compiled operator trees (``--json`` for machine-readable
+  output);
 * ``python -m repro explain problem.txt`` — the full audit trail: logical
   relations, candidates, prune log, key conflicts, resolution;
 * ``python -m repro match source.txt target.txt`` — suggest correspondences
@@ -123,13 +127,18 @@ def cmd_compile(args) -> int:
 
 def cmd_run(args) -> int:
     system = _system(args)
+    if args.workers is not None and args.engine != "batch":
+        print("error: --workers requires --engine batch", file=sys.stderr)
+        return 2
     with open(args.instance) as handle:
         source = parse_instance(handle.read(), system.problem.source_schema)
     if args.engine == "sqlite":
         executor = SqliteExecutor(enforce_constraints=args.enforce)
         target = executor.run(system.transformation, source)
-    else:
-        target = system.transform(source)
+    elif args.engine == "batch":
+        target = system.run(source, engine="batch", workers=args.workers).target
+    else:  # "reference" (and its legacy alias "datalog")
+        target = system.run(source, engine="reference").target
     print(target.to_text())
     if args.validate:
         print()
@@ -335,6 +344,41 @@ def cmd_flow(args) -> int:
     return 0
 
 
+def cmd_plan(args) -> int:
+    """Dump the batch runtime's compiled operator trees for one problem."""
+    problem = _resolve_problem(args)
+    if problem is None:
+        return 2
+    system = MappingSystem(problem, algorithm=args.algorithm)
+    plan = system.plan()
+    if args.json:
+        payload = {
+            "problem": problem.name,
+            "algorithm": args.algorithm,
+            "strata": [
+                {
+                    "stratum": stratum,
+                    "relation": relation,
+                    "rules": [
+                        {
+                            "slots": rule_plan.n_slots,
+                            "operators": [
+                                op.render() for op in rule_plan.operators()
+                            ],
+                        }
+                        for rule_plan in plan.plans[relation]
+                    ],
+                }
+                for stratum, relation in enumerate(plan.order)
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"# {problem.name}: batch execution plan ({args.algorithm})")
+        print(plan.render())
+    return 0
+
+
 def cmd_lint(args) -> int:
     from .analysis.analyzer import analyze
     from .analysis.diagnostics import (
@@ -516,8 +560,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="execute the transformation")
     common(run_parser)
     run_parser.add_argument("instance", help="source instance file (DSL)")
-    run_parser.add_argument("--engine", choices=["datalog", "sqlite"],
-                            default="datalog")
+    run_parser.add_argument(
+        "--engine", choices=["reference", "batch", "sqlite", "datalog"],
+        default="reference",
+        help="reference = tuple-at-a-time oracle interpreter; batch = "
+             "planned set-oriented runtime; sqlite = SQL translation on "
+             "SQLite (datalog is a legacy alias for reference)",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, metavar="N",
+        help="batch engine only: partition large outer scans across N "
+             "worker processes",
+    )
     run_parser.add_argument("--enforce", action="store_true",
                             help="enforce PK/FK/NOT NULL on SQLite")
     run_parser.add_argument("--validate", action="store_true",
@@ -599,6 +653,27 @@ def build_parser() -> argparse.ArgumentParser:
              "records and findings as JSON",
     )
     flow_parser.set_defaults(func=cmd_flow)
+
+    plan_parser = sub.add_parser(
+        "plan",
+        help="dump the batch runtime's compiled operator trees "
+             "(scan/join/filter/antijoin/project per rule)",
+    )
+    plan_parser.add_argument(
+        "problem", nargs="?", help="problem file (.txt DSL or .json)"
+    )
+    plan_parser.add_argument(
+        "--scenario", metavar="NAME", help="plan one bundled scenario"
+    )
+    plan_parser.add_argument(
+        "--algorithm", choices=[BASIC, NOVEL], default=NOVEL,
+        help="basic = Clio-style Algorithms 1+2; novel = the paper's 3+4",
+    )
+    plan_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the per-stratum operator trees as JSON",
+    )
+    plan_parser.set_defaults(func=cmd_plan)
 
     lint_parser = sub.add_parser(
         "lint", help="statically analyze problems (schemas, mappings, Datalog)"

@@ -15,6 +15,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..datalog.engine import EvaluationResult, evaluate
+from ..datalog.exec import ProgramPlan, evaluate_batch, plan_program
 from ..datalog.program import DatalogProgram
 from ..logic.mappings import SchemaMapping
 from ..model.instance import Instance
@@ -258,17 +259,58 @@ class MappingSystem:
 
     # -- execution -----------------------------------------------------------
 
-    def transform(self, source: Instance) -> Instance:
-        """Compute the target instance for a source instance."""
-        return self.transform_detailed(source).target
+    #: reference = tuple-at-a-time oracle interpreter; batch = planned
+    #: set-oriented runtime (repro.datalog.exec).
+    ENGINES = ("reference", "batch")
 
-    def transform_detailed(self, source: Instance) -> EvaluationResult:
+    def transform(self, source: Instance, engine: str = "reference") -> Instance:
+        """Compute the target instance for a source instance."""
+        return self.transform_detailed(source, engine=engine).target
+
+    def transform_detailed(
+        self, source: Instance, engine: str = "reference"
+    ) -> EvaluationResult:
         """Like :meth:`transform` but also returns the intermediate relations."""
+        return self.run(source, engine=engine)
+
+    def run(
+        self,
+        source: Instance,
+        engine: str = "batch",
+        workers: int | None = None,
+    ) -> EvaluationResult:
+        """Execute the transformation on a selectable engine.
+
+        ``engine="batch"`` (the default) runs the planned, set-oriented
+        batch runtime of :mod:`repro.datalog.exec`; ``engine="reference"``
+        runs the tuple-at-a-time interpreter of
+        :mod:`repro.datalog.engine`, which stays the differential-testing
+        oracle.  ``workers=N`` (batch only) partitions large outer scans
+        across a process pool — see ``docs/ENGINE.md``.
+        """
+        if engine not in self.ENGINES:
+            raise ReproError(
+                f"unknown engine {engine!r}: expected one of {self.ENGINES}"
+            )
+        if workers is not None and engine != "batch":
+            raise ReproError("workers=N requires engine='batch'")
         program = self.transformation
         with self._traced():
-            result = evaluate(program, source)
+            if engine == "batch":
+                result = evaluate_batch(program, source, workers=workers)
+            else:
+                result = evaluate(program, source)
         self._last_evaluation = result
         return result
+
+    def plan(self) -> ProgramPlan:
+        """The compiled operator trees of the transformation (``repro plan``).
+
+        Statistics default to empty here, so the rendering is deterministic
+        without an instance; the batch runtime re-plans each stratum with
+        live row counts at execution time.
+        """
+        return plan_program(self.transformation)
 
     # -- telemetry -----------------------------------------------------------
 

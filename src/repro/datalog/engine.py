@@ -37,6 +37,10 @@ class _Store:
             unique.setdefault(tuple(row), None)
         self._rows[name] = list(unique)
         self._sets[name] = set(unique)
+        # Replacing a relation's rows invalidates every index built over it;
+        # keeping them would serve stale entries to later joins.
+        for key in [k for k in self._indexes if k[0] == name]:
+            del self._indexes[key]
 
     def has_relation(self, name: str) -> bool:
         return name in self._rows

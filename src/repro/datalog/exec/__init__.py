@@ -1,0 +1,52 @@
+"""Planned, set-oriented evaluation runtime for generated Datalog programs.
+
+Layers:
+
+* :mod:`repro.datalog.exec.plan` — per-rule operator trees
+  (``scan -> hash-join* -> filter* -> antijoin* -> project``) with the join
+  order chosen once per rule from relation statistics;
+* :mod:`repro.datalog.exec.batch` — the batch executor: operators over row
+  batches with interned values and per-stratum reusable hash indexes;
+* :mod:`repro.datalog.exec.workers` — opt-in ``workers=N`` mode partitioning
+  the outer scan across a process pool for large sources.
+
+The reference interpreter (:mod:`repro.datalog.engine`) stays the oracle:
+``tests/test_engine_differential.py`` proves both engines and the SQLite
+backend agree on every bundled scenario, the synthetic workloads and
+hypothesis-generated problems.  See ``docs/ENGINE.md``.
+"""
+
+from .batch import BATCH_SIZE, BatchStore, Interner, evaluate_batch, run_plan
+from .plan import (
+    AntiJoinOp,
+    FilterOp,
+    JoinOp,
+    ProgramPlan,
+    ProjectOp,
+    RulePlan,
+    ScanOp,
+    order_atoms,
+    plan_program,
+    plan_rule,
+)
+from .workers import MIN_PARTITION_ROWS, run_plan_partitioned
+
+__all__ = [
+    "AntiJoinOp",
+    "BATCH_SIZE",
+    "BatchStore",
+    "FilterOp",
+    "Interner",
+    "JoinOp",
+    "MIN_PARTITION_ROWS",
+    "ProgramPlan",
+    "ProjectOp",
+    "RulePlan",
+    "ScanOp",
+    "evaluate_batch",
+    "order_atoms",
+    "plan_program",
+    "plan_rule",
+    "run_plan",
+    "run_plan_partitioned",
+]

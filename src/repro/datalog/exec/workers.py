@@ -1,0 +1,83 @@
+"""Opt-in partitioned execution: the outer scan across a process pool.
+
+``evaluate_batch(program, source, workers=N)`` routes every sufficiently
+large rule through :func:`run_plan_partitioned`: the rows of the rule's
+outer scan are split round-robin into ``N`` slices, each slice is evaluated
+by a worker process against a store holding the *complete* joined and
+negated relations (only the scan is partitioned — joins and anti-joins must
+see every row), and the parent merges the per-slice results in slice order,
+deduplicating across slice boundaries.
+
+The payload shipped to a worker is ``(plan, scan slice, {relation: rows})``.
+Plans are picklable by construction (tagged tuples, no closures) and
+evaluation results (constants, ``NULL``, ``LabeledNull``) round-trip through
+pickle by value, so merging preserves set semantics.  Worker processes run
+without the parent's tracer: ``eval.batches`` / ``eval.index_reuse`` only
+count the parent's share under ``workers=N`` (documented in
+``docs/ENGINE.md``).
+
+Partitioning only pays off when the scan is large; rules whose outer
+relation has fewer than :data:`MIN_PARTITION_ROWS` rows run inline in the
+parent.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from ...model.instance import Row
+from .batch import BATCH_SIZE, BatchStore, run_plan
+from .plan import RulePlan
+
+#: Below this many outer-scan rows the pool overhead dominates: run inline.
+MIN_PARTITION_ROWS = 2048
+
+
+def _relations_read(plan: RulePlan) -> list[str]:
+    """Relations the plan probes or negates (the scan is shipped separately)."""
+    names: dict[str, None] = {}
+    for join in plan.joins:
+        names.setdefault(join.relation, None)
+    for antijoin in plan.antijoins:
+        names.setdefault(antijoin.relation, None)
+    return list(names)
+
+
+def _run_slice(payload) -> list[Row]:
+    """Worker entry point: evaluate one plan over one scan slice."""
+    plan, scan_rows, relations = payload
+    store = BatchStore()
+    for name, rows in relations.items():
+        store.add_relation(name, rows)
+    if plan.scan is not None and plan.scan.relation not in relations:
+        store.add_relation(plan.scan.relation, scan_rows)
+    return run_plan(plan, store, scan_rows=scan_rows)
+
+
+def run_plan_partitioned(
+    plan: RulePlan,
+    store: BatchStore,
+    workers: int,
+    batch_size: int = BATCH_SIZE,
+    min_partition_rows: int = MIN_PARTITION_ROWS,
+) -> list[Row]:
+    """Derive one rule's head rows, partitioning the outer scan over a pool.
+
+    Falls back to the inline :func:`run_plan` when the rule has no scan,
+    the pool would have one slice, or the scan is too small to amortize
+    process startup and payload pickling.
+    """
+    if plan.scan is None or workers <= 1:
+        return run_plan(plan, store, batch_size=batch_size)
+    scan_rows = store.rows(plan.scan.relation)
+    if len(scan_rows) < min_partition_rows:
+        return run_plan(plan, store, batch_size=batch_size)
+    relations = {name: store.rows(name) for name in _relations_read(plan)}
+    slices = [scan_rows[i::workers] for i in range(workers)]
+    payloads = [(plan, part, relations) for part in slices if part]
+    derived: dict[Row, None] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for rows in pool.map(_run_slice, payloads):
+            for row in rows:
+                derived.setdefault(row, None)
+    return list(derived)

@@ -1,7 +1,13 @@
 """Relational model substrate: schemas, constraints, instances, validation."""
 
 from .builder import SchemaBuilder, parse_attribute
-from .diff import InstanceDiff, RelationDiff, diff_instances
+from .diff import (
+    InstanceDiff,
+    RelationDiff,
+    canonicalize_invented,
+    diff_instances,
+    diff_up_to_invented,
+)
 from .graph import (
     DependencyGraph,
     build_dependency_graph,
@@ -33,7 +39,9 @@ __all__ = [
     "InstanceDiff",
     "NULL",
     "RelationDiff",
+    "canonicalize_invented",
     "diff_instances",
+    "diff_up_to_invented",
     "Attribute",
     "DependencyGraph",
     "ForeignKey",

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 
 from ..errors import InstanceError
 from .instance import Instance, Row
-from .values import format_value
+from .values import LabeledNull, format_value, is_labeled_null, is_null
 
 
 @dataclass
@@ -58,6 +58,57 @@ class InstanceDiff:
             for row in diff.only_right:
                 lines.append("+ (" + ", ".join(format_value(v) for v in row) + ")")
         return "\n".join(lines)
+
+
+def _invented_masked_key(row: Row) -> tuple[str, ...]:
+    """A sort key that is stable under renaming of invented values."""
+    return tuple(
+        "\x00?" if is_labeled_null(v) else ("\x00null" if is_null(v) else repr(v))
+        for v in row
+    )
+
+
+def canonicalize_invented(instance: Instance) -> Instance:
+    """Rename invented values to ``inv(0), inv(1), ...`` by first appearance.
+
+    The traversal is deterministic and renaming-insensitive (relations in
+    schema order, rows sorted with invented values masked), so two instances
+    that differ only by a bijective renaming of their labeled nulls
+    canonicalize to equal instances.
+    """
+    mapping: dict[LabeledNull, LabeledNull] = {}
+
+    def rename(value):
+        if is_labeled_null(value):
+            canonical = mapping.get(value)
+            if canonical is None:
+                canonical = LabeledNull("inv", (len(mapping),))
+                mapping[value] = canonical
+            return canonical
+        return value
+
+    clone = Instance(instance.schema)
+    for name in instance.schema.relation_names():
+        rows = sorted(instance.relation(name).rows, key=_invented_masked_key)
+        for row in rows:
+            clone.add(name, tuple(rename(v) for v in row))
+    return clone
+
+
+def diff_up_to_invented(left: Instance, right: Instance) -> InstanceDiff:
+    """Diff two instances up to a bijective renaming of invented values.
+
+    Exactly equal instances short-circuit to the (empty) plain diff; the
+    differential-testing harness uses this so engines only have to agree on
+    target tuples *up to LabeledNull isomorphism*, not on how Skolem
+    functors spell their invented values.
+    """
+    plain = diff_instances(left, right)
+    if plain.empty:
+        return plain
+    return diff_instances(
+        canonicalize_invented(left), canonicalize_invented(right)
+    )
 
 
 def diff_instances(left: Instance, right: Instance) -> InstanceDiff:

@@ -396,3 +396,53 @@ class TestTelemetry:
         out = capsys.readouterr().out
         assert "# run report" not in out
         assert "counters" not in out
+
+
+class TestEngineFlag:
+    def test_run_batch_engine(self, problem_file, instance_file, capsys):
+        assert main([
+            "run", problem_file, instance_file, "--engine", "batch",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "c86" in out and "null" in out
+
+    def test_run_batch_matches_reference(self, problem_file, instance_file, capsys):
+        assert main(["run", problem_file, instance_file]) == 0
+        reference = capsys.readouterr().out
+        assert main([
+            "run", problem_file, instance_file, "--engine", "batch",
+        ]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_workers_requires_batch_engine(self, problem_file, instance_file, capsys):
+        assert main([
+            "run", problem_file, instance_file, "--workers", "2",
+        ]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestPlanCommand:
+    def test_plan_problem_file(self, problem_file, capsys):
+        assert main(["plan", problem_file]) == 0
+        out = capsys.readouterr().out
+        assert "scan " in out
+        assert "project " in out
+
+    def test_plan_scenario(self, capsys):
+        assert main(["plan", "--scenario", "figure-1"]) == 0
+        out = capsys.readouterr().out
+        assert "join C3 on" in out
+        assert "antijoin OCtmp" in out
+
+    def test_plan_json_shape(self, problem_file, capsys):
+        assert main(["plan", problem_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["strata"]
+        operators = [
+            op
+            for stratum in payload["strata"]
+            for rule in stratum["rules"]
+            for op in rule["operators"]
+        ]
+        assert any(op.startswith("scan ") for op in operators)
+        assert any(op.startswith("project ") for op in operators)

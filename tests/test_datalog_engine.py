@@ -180,3 +180,33 @@ class TestProgramEvaluation:
         system = MappingSystem(figure1_problem)
         result = evaluate(system.transformation, cars3_instance)
         assert result.target == figure3_expected_target()
+
+
+class TestStoreIndexInvalidation:
+    """Re-adding a relation must drop indexes built over its old rows."""
+
+    def test_readd_invalidates_indexes(self):
+        store = _store(S=[("a", 1), ("b", 2)])
+        assert store.index("S", (0,)) == {("a",): [("a", 1)], ("b",): [("b", 2)]}
+        store.add_relation("S", [("c", 3)])
+        assert store.index("S", (0,)) == {("c",): [("c", 3)]}
+        assert ("a",) not in store.index("S", (0,))
+
+    def test_readd_keeps_other_relations_indexes(self):
+        store = _store(S=[("a", 1)], R=[("x",)])
+        r_index = store.index("R", (0,))
+        store.add_relation("S", [("b", 2)])
+        assert store.index("R", (0,)) is r_index
+
+    def test_join_after_readd_sees_fresh_rows(self):
+        x, y = V("x"), V("y")
+        rule = Rule(
+            head=RelationalAtom("T", (x, y)),
+            body=(RelationalAtom("R", (x,)), RelationalAtom("S", (x, y))),
+        )
+        store = _store(R=[("a",), ("c",)], S=[("a", 1)])
+        assert evaluate_rule(rule, store) == [("a", 1)]
+        # The first evaluation built an index on S; replacing S's rows must
+        # not let that index leak into the second evaluation.
+        store.add_relation("S", [("c", 3)])
+        assert evaluate_rule(rule, store) == [("c", 3)]

@@ -1,0 +1,132 @@
+"""Engine differential testing: reference vs batch vs SQLite.
+
+The reference interpreter (`repro.datalog.engine`) is the oracle.  The batch
+runtime (`repro.datalog.exec`) and the SQL translation executed on SQLite
+must agree with it — identical target instances up to LabeledNull
+isomorphism (`repro.model.diff.diff_up_to_invented`) — on:
+
+* every bundled scenario's canonical instances (the frozen per-rule source
+  instances the semantic verifier builds), and
+* the synthetic CARS workloads the scaling benchmarks sweep.
+
+The batch engine must also reproduce the reference engine's intermediate
+relations and per-rule counts, and its opt-in ``workers=N`` mode must change
+nothing but wall time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.semantic.verifier import canonical_instances
+from repro.core.pipeline import MappingSystem
+from repro.datalog.engine import evaluate
+from repro.datalog.exec import evaluate_batch
+from repro.model.diff import diff_up_to_invented
+from repro.scenarios import bundled_problems
+from repro.scenarios.cars import figure1_problem, figure12_problem, figure14_problem
+from repro.scenarios.synthetic import cars2_instance, cars3_instance, cars4_instance
+from repro.sqlgen.executor import run_on_sqlite
+
+
+def _scenario_names():
+    return sorted(bundled_problems())
+
+
+def _assert_agreement(program, source, context):
+    reference = evaluate(program, source)
+    batch = evaluate_batch(program, source)
+
+    target_diff = diff_up_to_invented(reference.target, batch.target)
+    assert target_diff.empty, (
+        f"batch engine disagrees with reference on {context}:\n"
+        + target_diff.to_text()
+    )
+    assert reference.rule_counts == batch.rule_counts, context
+    assert set(reference.intermediates) == set(batch.intermediates), context
+    for name, rows in reference.intermediates.items():
+        assert set(rows) == set(batch.intermediates[name]), (context, name)
+
+    sqlite_target = run_on_sqlite(program, source)
+    sqlite_diff = diff_up_to_invented(reference.target, sqlite_target)
+    assert sqlite_diff.empty, (
+        f"SQLite disagrees with reference on {context}:\n" + sqlite_diff.to_text()
+    )
+    return reference
+
+
+class TestBundledScenarios:
+    """All three engines agree on every scenario's canonical instances."""
+
+    @pytest.mark.parametrize("name", _scenario_names())
+    def test_canonical_instances_agree(self, name):
+        problem = bundled_problems()[name]
+        program = MappingSystem(problem).transformation
+        checked = 0
+        for label, instance in canonical_instances(program):
+            _assert_agreement(program, instance, f"{name} / {label}")
+            checked += 1
+        assert checked > 0, f"no canonical instance for {name!r}"
+
+
+#: (label, problem factory, instance factory) — the scaling workloads.
+SYNTHETIC_WORKLOADS = [
+    (
+        "figure1-cars3",
+        figure1_problem,
+        lambda n: cars3_instance(
+            n_persons=n // 2, n_cars=n, ownership=0.6, seed=n
+        ),
+    ),
+    (
+        "figure12-cars4",
+        figure12_problem,
+        lambda n: cars4_instance(n_persons=n // 2, n_cars=n, seed=n),
+    ),
+    (
+        "figure14-cars2",
+        figure14_problem,
+        lambda n: cars2_instance(n_persons=n // 2, n_cars=n, seed=n),
+    ),
+]
+
+
+class TestSyntheticWorkloads:
+    @pytest.mark.parametrize("size", [40, 200])
+    @pytest.mark.parametrize(
+        "label,problem_factory,instance_factory",
+        SYNTHETIC_WORKLOADS,
+        ids=[w[0] for w in SYNTHETIC_WORKLOADS],
+    )
+    def test_cars_workloads_agree(self, label, problem_factory, instance_factory, size):
+        program = MappingSystem(problem_factory()).transformation
+        source = instance_factory(size)
+        result = _assert_agreement(program, source, f"{label} n={size}")
+        assert result.target.total_size() > 0
+
+
+@pytest.mark.serial
+class TestWorkersMode:
+    """workers=N partitions the outer scan without changing the answer."""
+
+    def test_partitioned_run_matches_inline(self):
+        program = MappingSystem(figure1_problem()).transformation
+        source = cars3_instance(n_persons=60, n_cars=120, ownership=0.6, seed=9)
+        inline = evaluate_batch(program, source)
+        # min_partition_rows=1 forces every rule through the process pool.
+        partitioned = evaluate_batch(
+            program, source, workers=2, min_partition_rows=1
+        )
+        assert inline.target == partitioned.target
+        assert diff_up_to_invented(inline.target, partitioned.target).empty
+        for name, rows in inline.intermediates.items():
+            assert set(rows) == set(partitioned.intermediates[name]), name
+        assert inline.rule_counts == partitioned.rule_counts
+
+    def test_small_scans_stay_inline(self):
+        """Below the partition threshold workers=N must not spawn a pool."""
+        program = MappingSystem(figure12_problem()).transformation
+        source = cars4_instance(n_persons=10, n_cars=20, seed=4)
+        reference = evaluate(program, source)
+        partitioned = evaluate_batch(program, source, workers=4)
+        assert reference.target == partitioned.target

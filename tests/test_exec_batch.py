@@ -1,0 +1,153 @@
+"""Unit tests for the batch runtime's planner and executor internals."""
+
+import pytest
+
+from repro.core.pipeline import MappingSystem
+from repro.datalog.exec import (
+    BatchStore,
+    Interner,
+    evaluate_batch,
+    order_atoms,
+    plan_program,
+    plan_rule,
+)
+from repro.datalog.program import DatalogProgram, Rule
+from repro.logic.atoms import RelationalAtom
+from repro.logic.terms import Constant, Variable
+from repro.model.builder import SchemaBuilder
+from repro.model.instance import instance_from_dict
+from repro.obs import Tracer, use_tracer
+from repro.scenarios import bundled_problems
+
+
+def V(name):
+    return Variable(name)
+
+
+class TestOrderAtoms:
+    def test_starts_from_smallest_relation(self):
+        x, y, z = V("x"), V("y"), V("z")
+        atoms = (
+            RelationalAtom("Big", (x, y)),
+            RelationalAtom("Small", (y, z)),
+        )
+        assert order_atoms(atoms, {"Big": 1000, "Small": 3}) == [1, 0]
+        assert order_atoms(atoms, {"Big": 3, "Small": 1000}) == [0, 1]
+
+    def test_prefers_connected_atoms(self):
+        x, y, z = V("x"), V("y"), V("z")
+        # After starting from A, B shares a variable with it while C does
+        # not: B must be joined before the cross product with C.
+        atoms = (
+            RelationalAtom("A", (x,)),
+            RelationalAtom("C", (z,)),
+            RelationalAtom("B", (x, y)),
+        )
+        order = order_atoms(atoms, {"A": 1, "B": 100, "C": 100})
+        assert order.index(2) < order.index(1)
+
+    def test_constant_filters_break_size_ties(self):
+        x = V("x")
+        atoms = (
+            RelationalAtom("R", (x, x)),
+            RelationalAtom("S", (x, Constant("c"))),
+        )
+        # Equal sizes: the atom with more bound positions (constant plus
+        # the repeated variable counts per atom) starts the pipeline.
+        order = order_atoms(atoms, {"R": 10, "S": 10})
+        assert len(order) == 2 and sorted(order) == [0, 1]
+
+    def test_deterministic(self):
+        x, y, z = V("x"), V("y"), V("z")
+        atoms = (
+            RelationalAtom("A", (x, y)),
+            RelationalAtom("B", (y, z)),
+            RelationalAtom("C", (z, x)),
+        )
+        stats = {"A": 5, "B": 7, "C": 2}
+        assert order_atoms(atoms, stats) == order_atoms(atoms, stats)
+
+
+class TestInterner:
+    def test_equal_values_become_one_object(self):
+        interner = Interner()
+        a = interner.intern("x" * 40)
+        b = interner.intern("xxxxx" * 8)
+        assert a == b and a is b
+
+    def test_intern_row(self):
+        interner = Interner()
+        row1 = interner.intern_row(("k1", 1))
+        row2 = interner.intern_row(("k" + "1", 1))
+        assert row1 == row2
+        assert row1[0] is row2[0]
+
+
+class TestBatchStore:
+    def test_readd_invalidates_indexes(self):
+        store = BatchStore()
+        store.add_relation("S", [("a", 1), ("b", 2)])
+        assert set(store.index("S", (0,))) == {("a",), ("b",)}
+        store.add_relation("S", [("c", 3)])
+        assert set(store.index("S", (0,))) == {("c",)}
+
+    def test_sizes(self):
+        store = BatchStore()
+        store.add_relation("S", [("a",), ("b",), ("a",)])
+        store.add_relation("R", [])
+        assert store.sizes() == {"S": 2, "R": 0}
+
+
+def _figure1_program():
+    return MappingSystem(bundled_problems()["figure-1"]).transformation
+
+
+class TestCounters:
+    def _source(self):
+        schema = (
+            SchemaBuilder("CARS3")
+            .relation("P3", "person", "name", "email", key="person")
+            .relation("C3", "car", "model", key="car")
+            .relation("O3", "car", "person", key="car")
+            .foreign_key("O3", "car", "C3")
+            .foreign_key("O3", "person", "P3")
+            .build()
+        )
+        return instance_from_dict(
+            schema,
+            {
+                "P3": [("p1", "John", "j@x"), ("p2", "MJ", "mj@x")],
+                "C3": [("c1", "Ferrari"), ("c2", "Ford")],
+                "O3": [("c1", "p2")],
+            },
+        )
+
+    def test_batch_and_index_reuse_counters(self):
+        program = _figure1_program()
+        tracer = Tracer()
+        with use_tracer(tracer):
+            evaluate_batch(program, self._source())
+        assert tracer.counters.get("eval.batches", 0) > 0
+        # Figure 1 reads C3/P3 from two rules on the same key positions:
+        # the second rule must hit the cached index.
+        assert tracer.counters.get("eval.index_reuse", 0) > 0
+
+    def test_counters_are_free_when_tracing_is_off(self):
+        program = _figure1_program()
+        result = evaluate_batch(program, self._source())
+        assert result.target.total_size() > 0
+
+
+class TestPlanRendering:
+    def test_every_rule_is_planned(self):
+        program = _figure1_program()
+        plan = plan_program(program)
+        assert len(plan.all_plans()) == len(program.rules)
+
+    def test_plan_rule_live_stats_change_estimates(self):
+        program = _figure1_program()
+        rule = program.rules[-1]
+        cold = plan_rule(rule, {})
+        warm = plan_rule(rule, {atom.relation: 50 for atom in rule.body})
+        assert cold.scan.rows_estimate == 0
+        assert warm.scan.rows_estimate == 50

@@ -11,8 +11,11 @@ from __future__ import annotations
 from hypothesis import given, settings, strategies as st
 
 from repro.core.pipeline import MappingProblem, MappingSystem
+from repro.datalog.engine import evaluate
+from repro.datalog.exec import evaluate_batch
 from repro.errors import HardKeyConflictError, NonFunctionalMappingError
 from repro.model.builder import SchemaBuilder
+from repro.model.diff import diff_up_to_invented
 from repro.model.instance import Instance
 from repro.model.validation import validate_instance
 from repro.model.values import NULL
@@ -90,6 +93,30 @@ def test_pipeline_is_safe_on_random_problems(problem, source):
         return  # the paper's "signal an error and stop" — a valid outcome
     assert validate_instance(output).ok
     assert run_on_sqlite(system.transformation, source) == output
+
+
+@settings(max_examples=200, deadline=None)
+@given(problems(), instances())
+def test_batch_engine_agrees_with_reference(problem, source):
+    """Differential property: the batch runtime is observationally equal to
+    the reference interpreter on random problems and instances — identical
+    target (up to LabeledNull isomorphism), intermediates and rule counts —
+    or both raise the same paper error.
+
+    The paper's two errors are signalled during query *generation*, before
+    either engine runs, so an error outcome trivially agrees.
+    """
+    try:
+        program = MappingSystem(problem).transformation
+    except (NonFunctionalMappingError, HardKeyConflictError):
+        return  # signalled before evaluation: both engines see the same error
+    reference = evaluate(program, source)
+    batch = evaluate_batch(program, source)
+    assert reference.target == batch.target
+    assert diff_up_to_invented(reference.target, batch.target).empty
+    assert reference.rule_counts == batch.rule_counts
+    for name, rows in reference.intermediates.items():
+        assert set(rows) == set(batch.intermediates[name]), name
 
 
 @settings(max_examples=40, deadline=None)

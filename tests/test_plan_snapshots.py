@@ -1,0 +1,83 @@
+"""Golden operator-tree snapshots for the batch runtime's planner.
+
+The compiled plans of the paper's Figure 1 / Figure 12 / Figure 14 scenarios
+and the appendix examples are pinned in ``tests/fixtures/plans.json``: any
+change to the planner (join ordering, slot assignment, operator shapes) or
+to query generation that moves an operator shows up as a reviewable fixture
+diff.  Plans mention only slots, relations, positions, constants and Skolem
+functors, so their rendering is deterministic across runs.
+
+Regenerate after an intentional planner change with::
+
+    REGEN_PLANS=1 PYTHONPATH=src python -m pytest tests/test_plan_snapshots.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.pipeline import MappingSystem
+from repro.datalog.exec import plan_program
+from repro.scenarios import bundled_problems
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "plans.json")
+
+#: The pinned scenarios: the Figure 1 running example, the paper-body
+#: variants with negation / nullable sources, and the appendix examples.
+SCENARIOS = (
+    "figure-1",
+    "figure-12",
+    "figure-14",
+    "appendix-A.3",
+    "appendix-A.7",
+    "appendix-c4",
+    "example-6-6",
+)
+
+
+def _render(name: str) -> str:
+    problem = bundled_problems()[name]
+    program = MappingSystem(problem).transformation
+    return plan_program(program).render()
+
+
+def _golden() -> dict[str, str]:
+    with open(FIXTURE) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _regenerate_if_requested():
+    if os.environ.get("REGEN_PLANS"):
+        payload = {name: _render(name) for name in SCENARIOS}
+        with open(FIXTURE, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    yield
+
+
+def test_fixture_covers_the_pinned_scenarios():
+    assert sorted(_golden()) == sorted(SCENARIOS)
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_plan_matches_fixture(name):
+    assert _render(name) == _golden()[name], (
+        f"operator tree drifted for {name!r}; if the change is intentional, "
+        "regenerate with REGEN_PLANS=1"
+    )
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_plan_rendering_is_deterministic(name):
+    assert _render(name) == _render(name)
+
+
+def test_pinned_plans_cover_every_operator_kind():
+    """The fixture exercises scans, joins, filters, antijoins and projects."""
+    text = "\n".join(_golden().values())
+    for keyword in ("scan ", "join ", "filter ", "antijoin ", "project "):
+        assert keyword in text, keyword
