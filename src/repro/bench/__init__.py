@@ -1,0 +1,27 @@
+"""Benchmark tooling: baseline comparison and the perf-regression gate.
+
+:mod:`repro.bench.diff` loads two benchmark report files (the
+``BENCH_scaling.json`` / ``BENCH_pipeline.json`` artifacts written by the
+``benchmarks/`` suite), extracts every per-scenario wall time, and compares
+them against a configurable noise threshold.  ``repro bench-diff`` is the
+CLI surface; CI runs it against the committed baselines and fails the build
+on regressions.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from .diff import (
+    Comparison,
+    DiffReport,
+    diff_benchmarks,
+    extract_timings,
+    load_bench_file,
+    stamp_metadata,
+)
+
+__all__ = [
+    "Comparison",
+    "DiffReport",
+    "diff_benchmarks",
+    "extract_timings",
+    "load_bench_file",
+    "stamp_metadata",
+]

@@ -29,12 +29,19 @@ Usage (after installation, via ``python -m repro``):
   confirmations, and the ``FLW*`` findings (``--json`` for a
   machine-readable dump);
 * ``python -m repro reproduce`` — re-run every figure/example of the paper
-  and print the paper-vs-measured verdict table.
+  and print the paper-vs-measured verdict table;
+* ``python -m repro bench-diff baseline.json current.json`` — the
+  perf-regression gate: compare two benchmark report files scenario by
+  scenario and exit 1 when any wall time regressed past ``--threshold``.
 
 ``compile``, ``run``, ``explain`` and ``query`` all accept the telemetry
 flags ``--trace`` (stage-by-stage run report), ``--profile`` (per-stage
 timings), ``--trace-out PATH`` (JSON run report) and ``--trace-chrome PATH``
-(Chrome trace-event file); see ``docs/OBSERVABILITY.md``.
+(Chrome trace-event file), plus the metrics flags ``--metrics-out PATH``
+(typed metrics snapshot JSON, schema ``docs/metrics.schema.json``) and
+``--openmetrics-out PATH`` (Prometheus/OpenMetrics text); ``run`` adds
+``--explain-analyze`` / ``--analyze-out PATH`` for the measured operator
+trees.  See ``docs/OBSERVABILITY.md``.
 
 Problem files use the text DSL of :mod:`repro.dsl.parser`, or JSON
 (``.json``) as produced by :mod:`repro.dsl.jsonio`.
@@ -76,6 +83,13 @@ def _wants_trace(args) -> bool:
     )
 
 
+def _wants_metrics(args) -> bool:
+    return bool(
+        getattr(args, "metrics_out", None)
+        or getattr(args, "openmetrics_out", None)
+    )
+
+
 def _system(args, force_trace: bool = False) -> MappingSystem:
     problem = _load_problem(args.problem)
     return MappingSystem(
@@ -83,6 +97,7 @@ def _system(args, force_trace: bool = False) -> MappingSystem:
         algorithm=args.algorithm,
         optimize=not args.no_optimize,
         trace=force_trace or _wants_trace(args),
+        metrics=_wants_metrics(args),
         semantic_pruning=getattr(args, "semantic_pruning", False),
         verify_optimizations=getattr(args, "verify_optimizations", False),
     )
@@ -109,6 +124,18 @@ def _emit_telemetry(system: MappingSystem, args) -> None:
         write_chrome_trace(report, args.trace_chrome)
 
 
+def _emit_metrics(system: MappingSystem, args) -> None:
+    """Write the metrics snapshot / OpenMetrics files, when requested."""
+    if system.metrics is None:
+        return
+    from .obs import write_metrics_json, write_openmetrics
+
+    if getattr(args, "metrics_out", None):
+        write_metrics_json(system.metrics, args.metrics_out)
+    if getattr(args, "openmetrics_out", None):
+        write_openmetrics(system.metrics, args.openmetrics_out)
+
+
 def cmd_compile(args) -> int:
     system = _system(args)
     print("# schema mapping")
@@ -122,6 +149,7 @@ def cmd_compile(args) -> int:
         print("# transformation (non-recursive Datalog)")
         print(render_program(system.transformation, shorten=not args.long_names))
     _emit_telemetry(system, args)
+    _emit_metrics(system, args)
     return 0
 
 
@@ -130,27 +158,59 @@ def cmd_run(args) -> int:
     if args.workers is not None and args.engine != "batch":
         print("error: --workers requires --engine batch", file=sys.stderr)
         return 2
+    analyze = bool(args.explain_analyze or args.analyze_out)
+    if analyze and args.engine == "sqlite":
+        print(
+            "error: --explain-analyze requires --engine batch or reference",
+            file=sys.stderr,
+        )
+        return 2
     with open(args.instance) as handle:
         source = parse_instance(handle.read(), system.problem.source_schema)
+    result = None
     if args.engine == "sqlite":
         executor = SqliteExecutor(enforce_constraints=args.enforce)
         target = executor.run(system.transformation, source)
-    elif args.engine == "batch":
-        target = system.run(source, engine="batch", workers=args.workers).target
-    else:  # "reference" (and its legacy alias "datalog")
-        target = system.run(source, engine="reference").target
+    else:  # batch, reference (and reference's legacy alias "datalog")
+        engine = "batch" if args.engine == "batch" else "reference"
+        result = system.run(
+            source, engine=engine, workers=args.workers, analyze=analyze
+        )
+        target = result.target
     print(target.to_text())
     if args.validate:
         print()
         print("validation:", validate_instance(target).summary())
+    if result is not None and result.profile is not None:
+        if args.explain_analyze:
+            print()
+            print("# explain analyze")
+            print(result.profile.render())
+        if args.analyze_out:
+            with open(args.analyze_out, "w") as handle:
+                json.dump(result.profile.to_dict(), handle, indent=2)
+                handle.write("\n")
     _emit_telemetry(system, args)
+    _emit_metrics(system, args)
     return 0
 
 
 def cmd_explain(args) -> int:
     if args.why_pruned:
         return _why_pruned(_system(args), args.why_pruned)
-    print(explain(_system(args, force_trace=True)))
+    system = _system(args, force_trace=True)
+    if args.instance:
+        # Evaluate before rendering so the telemetry section carries the
+        # engine's counters (the batch engine's eval.batches /
+        # eval.index_reuse included) — without an instance there is no
+        # evaluation to report on.
+        with open(args.instance) as handle:
+            source = parse_instance(
+                handle.read(), system.problem.source_schema
+            )
+        system.run(source, engine=args.engine)
+    print(explain(system))
+    _emit_metrics(system, args)
     return 0
 
 
@@ -225,6 +285,7 @@ def cmd_query(args) -> int:
         print("(" + ", ".join(format_value(v) for v in row) + ")")
     print(f"-- {len(answers)} answer(s)" + (" (certain)" if args.certain else ""))
     _emit_telemetry(system, args)
+    _emit_metrics(system, args)
     return 0
 
 
@@ -350,6 +411,27 @@ def cmd_plan(args) -> int:
     if problem is None:
         return 2
     system = MappingSystem(problem, algorithm=args.algorithm)
+    if args.analyze:
+        if not args.instance:
+            print("error: --analyze requires --instance PATH", file=sys.stderr)
+            return 2
+        with open(args.instance) as handle:
+            source = parse_instance(handle.read(), problem.source_schema)
+        profile = system.run(source, engine="batch", analyze=True).profile
+        if args.json:
+            payload = {
+                "problem": problem.name,
+                "algorithm": args.algorithm,
+                "analyze": profile.to_dict(),
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            print(
+                f"# {problem.name}: batch execution plan, analyzed "
+                f"({args.algorithm})"
+            )
+            print(profile.render())
+        return 0
     plan = system.plan()
     if args.json:
         payload = {
@@ -497,6 +579,37 @@ def _semantic_lint(problem, algorithm: str, semantic: bool, verify: bool) -> lis
     return diags
 
 
+def cmd_bench_diff(args) -> int:
+    """The perf-regression gate: compare two benchmark report files.
+
+    Exit status: 0 when no wall time regressed past the threshold, 1 when
+    one did, 2 on unreadable inputs.
+    """
+    from .bench import diff_benchmarks, load_bench_file
+
+    try:
+        baseline = load_bench_file(args.baseline)
+        current = load_bench_file(args.current)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        report = diff_benchmarks(
+            baseline,
+            current,
+            threshold=args.threshold,
+            min_seconds=args.min_seconds,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_match(args) -> int:
     with open(args.source) as handle:
         source = parse_schema(handle.read(), name="source")
@@ -548,6 +661,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the run report as JSON to PATH")
         p.add_argument("--trace-chrome", metavar="PATH",
                        help="write a Chrome trace-event file (chrome://tracing)")
+        p.add_argument("--metrics-out", metavar="PATH",
+                       help="write the typed metrics snapshot as JSON "
+                            "(schema: docs/metrics.schema.json)")
+        p.add_argument("--openmetrics-out", metavar="PATH",
+                       help="write the metrics in Prometheus/OpenMetrics "
+                            "text exposition format")
 
     compile_parser = sub.add_parser("compile", help="generate mapping + queries")
     common(compile_parser)
@@ -576,6 +695,16 @@ def build_parser() -> argparse.ArgumentParser:
                             help="enforce PK/FK/NOT NULL on SQLite")
     run_parser.add_argument("--validate", action="store_true",
                             help="report target constraint violations")
+    run_parser.add_argument(
+        "--explain-analyze", action="store_true",
+        help="print the measured operator trees (rows in/out, batches, "
+             "timings, index hits) after the target instance",
+    )
+    run_parser.add_argument(
+        "--analyze-out", metavar="PATH",
+        help="write the execution profile (the EXPLAIN ANALYZE data) as "
+             "JSON to PATH",
+    )
     run_parser.set_defaults(func=cmd_run)
 
     explain_parser = sub.add_parser("explain", help="audit the generation run")
@@ -584,6 +713,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--why-pruned", metavar="CANDIDATE",
         help="explain one prune decision (e.g. c3): the syntactic record "
              "plus the chase-based containment witness, or 'syntactic only'",
+    )
+    explain_parser.add_argument(
+        "--instance", metavar="PATH",
+        help="also execute the transformation on this source instance, so "
+             "the telemetry section includes the evaluation counters",
+    )
+    explain_parser.add_argument(
+        "--engine", choices=["reference", "batch"], default="batch",
+        help="engine for the --instance evaluation (default: batch)",
     )
     explain_parser.set_defaults(func=cmd_explain)
 
@@ -673,6 +811,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the per-stratum operator trees as JSON",
     )
+    plan_parser.add_argument(
+        "--analyze", action="store_true",
+        help="execute on --instance and annotate each operator with its "
+             "measured rows/batches/timings (EXPLAIN ANALYZE)",
+    )
+    plan_parser.add_argument(
+        "--instance", metavar="PATH",
+        help="source instance file for --analyze",
+    )
     plan_parser.set_defaults(func=cmd_plan)
 
     lint_parser = sub.add_parser(
@@ -725,6 +872,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="lowest severity that makes the exit status 1 (default: error)",
     )
     lint_parser.set_defaults(func=cmd_lint)
+
+    bench_parser = sub.add_parser(
+        "bench-diff",
+        help="compare two benchmark report files and fail on regressions",
+    )
+    bench_parser.add_argument(
+        "baseline", help="baseline benchmark JSON (e.g. BENCH_scaling.json)"
+    )
+    bench_parser.add_argument(
+        "current", help="current benchmark JSON to compare against it"
+    )
+    bench_parser.add_argument(
+        "--threshold", type=float, default=2.0, metavar="RATIO",
+        help="current/baseline ratio above which a timing is a regression "
+             "(default: 2.0; must exceed 1.0 — benchmark runners are noisy)",
+    )
+    bench_parser.add_argument(
+        "--min-seconds", type=float, default=0.001, metavar="SECS",
+        help="ignore timings whose baseline is below this noise floor "
+             "(default: 0.001)",
+    )
+    bench_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the comparison report as JSON",
+    )
+    bench_parser.set_defaults(func=cmd_bench_diff)
 
     match_parser = sub.add_parser("match", help="suggest correspondences")
     match_parser.add_argument("source", help="source schema file (DSL)")

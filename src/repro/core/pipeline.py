@@ -11,7 +11,7 @@ algorithms (3 and 4); everything is computed lazily and cached.
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import ExitStack, nullcontext
 from dataclasses import dataclass, field
 
 from ..datalog.engine import EvaluationResult, evaluate
@@ -21,7 +21,7 @@ from ..logic.mappings import SchemaMapping
 from ..model.instance import Instance
 from ..errors import ReproError, SchemaError
 from ..model.schema import Schema
-from ..obs import RunReport, Tracer, use_tracer
+from ..obs import MetricsRegistry, RunReport, Tracer, use_metrics, use_tracer
 from .correspondences import Correspondence, correspondence
 from .query_generation import QueryGenerationResult, generate_queries
 from .schema_mapping import NOVEL, SchemaMappingResult, generate_schema_mapping
@@ -71,7 +71,11 @@ class MappingSystem:
     With ``trace=True`` a :class:`repro.obs.Tracer` records every stage run
     through this system: the stage results carry a
     :class:`~repro.obs.RunReport` each and :meth:`stats` returns the merged
-    report (see ``docs/OBSERVABILITY.md``).  Tracing is off by default and
+    report (see ``docs/OBSERVABILITY.md``).  With ``metrics=True`` a
+    :class:`repro.obs.MetricsRegistry` is installed for every stage run, so
+    the typed metric families (``eval.*``, ``exec.*``, ``flow.*``,
+    ``semantic.*``) accumulate across this system's lifetime;
+    :meth:`metrics_snapshot` serializes them.  Both are off by default and
     the disabled instrumentation is a no-op.
 
     Cached stage results are fingerprinted against the problem's
@@ -88,6 +92,7 @@ class MappingSystem:
         skolem_strategy: str | None = None,
         optimize: bool = True,
         trace: bool = False,
+        metrics: bool = False,
         semantic_pruning: bool = False,
         verify_optimizations: bool = False,
     ):
@@ -102,6 +107,9 @@ class MappingSystem:
         #: raise carrying the SEM003/SEM004 diagnostic.
         self.verify_optimizations = verify_optimizations
         self.tracer: Tracer | None = Tracer() if trace else None
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry() if metrics else None
+        )
         self._schema_mapping_result: SchemaMappingResult | None = None
         self._query_result: QueryGenerationResult | None = None
         self._last_evaluation: EvaluationResult | None = None
@@ -113,7 +121,15 @@ class MappingSystem:
         self._lint_run_report: RunReport | None = None
 
     def _traced(self):
-        return use_tracer(self.tracer) if self.tracer is not None else nullcontext()
+        """Install this system's tracer and metrics registry (when enabled)."""
+        if self.tracer is None and self.metrics is None:
+            return nullcontext()
+        stack = ExitStack()
+        if self.tracer is not None:
+            stack.enter_context(use_tracer(self.tracer))
+        if self.metrics is not None:
+            stack.enter_context(use_metrics(self.metrics))
+        return stack
 
     # -- cache freshness ----------------------------------------------------
 
@@ -278,6 +294,7 @@ class MappingSystem:
         source: Instance,
         engine: str = "batch",
         workers: int | None = None,
+        analyze: bool = False,
     ) -> EvaluationResult:
         """Execute the transformation on a selectable engine.
 
@@ -286,7 +303,10 @@ class MappingSystem:
         runs the tuple-at-a-time interpreter of
         :mod:`repro.datalog.engine`, which stays the differential-testing
         oracle.  ``workers=N`` (batch only) partitions large outer scans
-        across a process pool — see ``docs/ENGINE.md``.
+        across a process pool — see ``docs/ENGINE.md``.  ``analyze=True``
+        collects the EXPLAIN ANALYZE profile on the returned result (also
+        collected implicitly when the system was created with
+        ``metrics=True``).
         """
         if engine not in self.ENGINES:
             raise ReproError(
@@ -297,9 +317,11 @@ class MappingSystem:
         program = self.transformation
         with self._traced():
             if engine == "batch":
-                result = evaluate_batch(program, source, workers=workers)
+                result = evaluate_batch(
+                    program, source, workers=workers, analyze=analyze
+                )
             else:
-                result = evaluate(program, source)
+                result = evaluate(program, source, analyze=analyze)
         self._last_evaluation = result
         return result
 
@@ -333,3 +355,17 @@ class MappingSystem:
         )
         assert stage1 is not None and stage2 is not None
         return stage1.merged(stage2, evaluation, self._lint_run_report)
+
+    def metrics_snapshot(self) -> dict:
+        """The serialized state of this system's metrics registry.
+
+        The snapshot format is pinned by ``docs/metrics.schema.json`` and
+        round-trips through :meth:`repro.obs.MetricsRegistry.from_snapshot`.
+        Requires the system to have been created with ``metrics=True``.
+        """
+        if self.metrics is None:
+            raise ReproError(
+                "metrics are off: create the MappingSystem with metrics=True "
+                "to collect the typed metric families"
+            )
+        return self.metrics.snapshot()

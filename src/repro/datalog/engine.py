@@ -10,6 +10,7 @@ per (relation, bound-positions) on demand.  Skolem terms in heads become
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -18,7 +19,7 @@ from ..logic.atoms import RelationalAtom
 from ..logic.terms import Constant, NullTerm, SkolemTerm, Term, Variable
 from ..model.instance import Instance, Row
 from ..model.values import NULL, LabeledNull, is_null
-from ..obs import RunReport, count, span, stage_report
+from ..obs import RunReport, count, metrics_enabled, span, stage_report
 from .program import DatalogProgram, Rule
 from .stratify import stratify
 
@@ -214,16 +215,43 @@ class EvaluationResult:
     rule_counts: list[int] = field(default_factory=list)
     #: stage telemetry, populated when an obs tracer is active (see repro.obs)
     run_report: RunReport | None = None
+    #: the measured :class:`repro.datalog.exec.profile.ExecutionProfile`
+    #: behind EXPLAIN ANALYZE, populated when evaluation ran with
+    #: ``analyze=True`` or under an active metrics registry (typed ``Any``
+    #: here because the exec package imports this module)
+    profile: Any | None = None
 
     def intermediate(self, name: str) -> list[Row]:
         return self.intermediates[name]
 
 
-def evaluate(program: DatalogProgram, source: Instance) -> EvaluationResult:
-    """Run the transformation: compute a target instance from a source instance."""
+def evaluate(
+    program: DatalogProgram, source: Instance, analyze: bool = False
+) -> EvaluationResult:
+    """Run the transformation: compute a target instance from a source instance.
+
+    ``analyze=True`` — or an active metrics registry — collects rule-level
+    timing and derived-row counts into ``EvaluationResult.profile``.  The
+    reference interpreter has no static operator pipeline, so its profiles
+    carry empty operator lists; the rollups stay comparable with the batch
+    engine's (same metric families, same rule/stratum totals).
+    """
     if program.target_schema is None:
         raise EvaluationError("program has no target schema")
     program.validate()
+    collect = analyze or metrics_enabled()
+    profile = None
+    if collect:
+        # Imported lazily: repro.datalog.exec.batch imports this module.
+        from .exec.profile import (
+            ExecutionProfile,
+            RuleProfile,
+            StratumProfile,
+            emit_profile_metrics,
+        )
+
+        profile = ExecutionProfile(engine="reference")
+    run_started = time.perf_counter()
     with span("stage.evaluate", rules=len(program.rules)) as trace:
         store = _Store()
         source_rows = 0
@@ -238,9 +266,26 @@ def evaluate(program: DatalogProgram, source: Instance) -> EvaluationResult:
         rule_index = {id(rule): i for i, rule in enumerate(program.rules)}
         for stratum, relation in enumerate(order):
             with span("eval.stratum", stratum=stratum, relation=relation) as stratum_trace:
+                stratum_profile = None
+                if profile is not None:
+                    stratum_started = time.perf_counter()
+                    stratum_profile = StratumProfile(
+                        stratum=stratum, relation=relation
+                    )
+                    profile.strata.append(stratum_profile)
                 rows: dict[Row, None] = {}
                 for rule in program.rules_for(relation):
+                    rule_started = time.perf_counter()
                     derived = evaluate_rule(rule, store)
+                    if stratum_profile is not None:
+                        stratum_profile.rules.append(
+                            RuleProfile(
+                                relation=relation,
+                                rule_index=rule_index[id(rule)],
+                                rows_unique=len(derived),
+                                seconds=time.perf_counter() - rule_started,
+                            )
+                        )
                     rule_counts[rule_index[id(rule)]] = len(derived)
                     count("eval.rules_evaluated")
                     count("eval.derived_tuples", len(derived))
@@ -249,6 +294,11 @@ def evaluate(program: DatalogProgram, source: Instance) -> EvaluationResult:
                 count("eval.strata")
                 count("eval.tuples", len(rows))
                 stratum_trace.set(tuples=len(rows))
+                if stratum_profile is not None:
+                    stratum_profile.rows = len(rows)
+                    stratum_profile.seconds = (
+                        time.perf_counter() - stratum_started
+                    )
                 computed[relation] = list(rows)
                 store.add_relation(relation, list(rows))
 
@@ -259,9 +309,15 @@ def evaluate(program: DatalogProgram, source: Instance) -> EvaluationResult:
         intermediates = {
             name: computed.get(name, []) for name in program.intermediates
         }
+    if profile is not None:
+        profile.source_rows = source_rows
+        profile.target_rows = target.total_size()
+        profile.seconds = time.perf_counter() - run_started
+        emit_profile_metrics(profile)
     return EvaluationResult(
         target=target,
         intermediates=intermediates,
         rule_counts=[rule_counts.get(i, 0) for i in range(len(program.rules))],
         run_report=stage_report(trace, "evaluation"),
+        profile=profile,
     )

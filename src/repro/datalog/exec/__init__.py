@@ -8,7 +8,10 @@ Layers:
 * :mod:`repro.datalog.exec.batch` — the batch executor: operators over row
   batches with interned values and per-stratum reusable hash indexes;
 * :mod:`repro.datalog.exec.workers` — opt-in ``workers=N`` mode partitioning
-  the outer scan across a process pool for large sources.
+  the outer scan across a process pool for large sources;
+* :mod:`repro.datalog.exec.profile` — the measured operator/rule/stratum
+  profiles behind ``repro run --explain-analyze`` and the ``exec.*``
+  metric families.
 
 The reference interpreter (:mod:`repro.datalog.engine`) stays the oracle:
 ``tests/test_engine_differential.py`` proves both engines and the SQLite
@@ -17,6 +20,14 @@ hypothesis-generated problems.  See ``docs/ENGINE.md``.
 """
 
 from .batch import BATCH_SIZE, BatchStore, Interner, evaluate_batch, run_plan
+from .profile import (
+    ExecutionProfile,
+    OperatorStats,
+    RuleProfile,
+    StratumProfile,
+    emit_profile_metrics,
+    operators_for_plan,
+)
 from .plan import (
     AntiJoinOp,
     FilterOp,
@@ -35,15 +46,21 @@ __all__ = [
     "AntiJoinOp",
     "BATCH_SIZE",
     "BatchStore",
+    "ExecutionProfile",
     "FilterOp",
     "Interner",
     "JoinOp",
     "MIN_PARTITION_ROWS",
+    "OperatorStats",
     "ProgramPlan",
     "ProjectOp",
     "RulePlan",
+    "RuleProfile",
     "ScanOp",
+    "StratumProfile",
+    "emit_profile_metrics",
     "evaluate_batch",
+    "operators_for_plan",
     "order_atoms",
     "plan_program",
     "plan_rule",

@@ -23,22 +23,37 @@ Observability: ``eval.batches`` counts processed scan batches,
 ``eval.index_reuse`` counts index cache hits, and the counters the reference
 engine emits (``eval.source_tuples``, ``eval.rules_evaluated``,
 ``eval.derived_tuples``, ``eval.strata``, ``eval.tuples``) keep their
-meaning, so run reports are comparable across engines.
+meaning, so run reports are comparable across engines.  With
+``analyze=True`` — or whenever a metrics registry is active (see
+:mod:`repro.obs.metrics`) — every operator additionally records rows
+in/out, batches, wall seconds and index build-vs-probe splits into an
+:class:`~repro.datalog.exec.profile.ExecutionProfile` (the data behind
+``repro run --explain-analyze``), and the profile is folded into the
+registry's ``exec.*`` / ``eval.*`` metric families on completion.
 """
 
 from __future__ import annotations
 
 from operator import itemgetter
+from time import perf_counter
 from typing import Any, Callable, Iterator
 
 from ...errors import EvaluationError
 from ...model.instance import Instance, Row
 from ...model.values import NULL, LabeledNull
-from ...obs import count, span, stage_report
+from ...obs import count, metrics_enabled, span, stage_report
 from ..engine import EvaluationResult
 from ..program import DatalogProgram
 from ..stratify import stratify
 from .plan import RulePlan, ValueExpr, plan_rule
+from .profile import (
+    ExecutionProfile,
+    OperatorStats,
+    RuleProfile,
+    StratumProfile,
+    emit_profile_metrics,
+    operators_for_plan,
+)
 
 #: Rows per scan batch.  Large enough to amortize per-batch overhead, small
 #: enough to keep intermediate buffers cache-friendly.
@@ -208,9 +223,21 @@ def _row_builder(exprs: tuple[ValueExpr, ...]) -> Callable[[Row], Row]:
     return lambda slots: tuple(f(slots) for f in build)
 
 
-def _join_stage(join, store: BatchStore) -> Callable[[list[Row]], list[Row]]:
+def _join_stage(
+    join, store: BatchStore, stats: OperatorStats | None = None
+) -> Callable[[list[Row]], list[Row]]:
     """Compile one join into a batch -> batch callable (index built now)."""
-    index = store.index(join.relation, join.key_positions)
+    if stats is None:
+        index = store.index(join.relation, join.key_positions)
+    else:
+        cached = (join.relation, join.key_positions) in store._indexes
+        build_started = perf_counter()
+        index = store.index(join.relation, join.key_positions)
+        stats.build_seconds += perf_counter() - build_started
+        if cached:
+            stats.index_hits += 1
+        else:
+            stats.index_misses += 1
     key_slots = [e[1] if e[0] == "slot" else None for e in join.key_exprs]
     if all(s is not None for s in key_slots):
         if len(key_slots) == 1:
@@ -279,13 +306,22 @@ def run_plan(
     store: BatchStore,
     batch_size: int = BATCH_SIZE,
     scan_rows: list[Row] | None = None,
+    profile: RuleProfile | None = None,
 ) -> list[Row]:
     """All head rows derived by one compiled rule against the store.
 
     ``scan_rows`` overrides the scanned relation's rows — the partitioned
     workers mode feeds each worker its slice of the outer scan while every
     joined or negated relation stays complete.
+
+    ``profile`` switches on per-operator measurement: its
+    :class:`~repro.datalog.exec.profile.OperatorStats` (created with
+    :func:`~repro.datalog.exec.profile.operators_for_plan`, so they mirror
+    this plan's pipeline) accumulate rows in/out, batches and wall seconds.
+    When ``profile`` is None the original uninstrumented loop runs.
     """
+    if profile is not None:
+        return _run_plan_profiled(plan, store, batch_size, scan_rows, profile)
     derived: dict[Row, None] = {}
     if plan.scan is None:
         batches: Iterator[list[Row]] = iter([[()]])
@@ -315,12 +351,91 @@ def run_plan(
     return list(derived)
 
 
+_DONE = object()  # sentinel: the profiled loop times each batch fetch
+
+
+def _run_plan_profiled(
+    plan: RulePlan,
+    store: BatchStore,
+    batch_size: int,
+    scan_rows: list[Row] | None,
+    profile: RuleProfile,
+) -> list[Row]:
+    """The measured twin of :func:`run_plan`.
+
+    Timing is batch-granular (two ``perf_counter`` reads per operator per
+    batch), which keeps the overhead well under the 5% budget pinned by
+    ``benchmarks/test_bench_scaling.py`` while preserving the invariant the
+    EXPLAIN ANALYZE tests rely on: each operator's ``rows_in`` equals the
+    previous operator's ``rows_out`` (a batch that empties out early simply
+    contributes zero to both sides downstream).
+    """
+    started = perf_counter()
+    ops = profile.operators
+    scan_stats = ops[0] if plan.scan is not None else None
+    pipeline_stats = ops[1:-1] if scan_stats is not None else ops[:-1]
+    project_stats = ops[-1]
+    derived: dict[Row, None] = {}
+    if plan.scan is None:
+        batches: Iterator[list[Row]] = iter([[()]])
+    else:
+        rows = scan_rows if scan_rows is not None else store.rows(plan.scan.relation)
+        scan_stats.rows_in += len(rows)
+        batches = _scan_batches(plan.scan, rows, batch_size)
+    stages: list[tuple[Callable[[list[Row]], list[Row]], OperatorStats]] = []
+    cursor = iter(pipeline_stats)
+    for join in plan.joins:
+        stats = next(cursor)
+        stages.append((_join_stage(join, store, stats), stats))
+    for filter_op in plan.filters:
+        stages.append((_filter_stage(filter_op), next(cursor)))
+    for antijoin in plan.antijoins:
+        stages.append((_antijoin_stage(antijoin, store), next(cursor)))
+    project = _row_builder(plan.project.exprs)
+    setdefault = derived.setdefault
+    while True:
+        fetch_started = perf_counter()
+        batch = next(batches, _DONE)
+        if scan_stats is not None:
+            scan_stats.seconds += perf_counter() - fetch_started
+        if batch is _DONE:
+            break
+        count("eval.batches")
+        if scan_stats is not None:
+            scan_stats.batches += 1
+            scan_stats.rows_out += len(batch)
+        emptied = False
+        for stage, stats in stages:
+            stats.rows_in += len(batch)
+            stats.batches += 1
+            stage_started = perf_counter()
+            batch = stage(batch)
+            stats.seconds += perf_counter() - stage_started
+            stats.rows_out += len(batch)
+            if not batch:
+                emptied = True
+                break
+        if emptied:
+            continue
+        project_stats.rows_in += len(batch)
+        project_stats.batches += 1
+        project_started = perf_counter()
+        for slots in batch:
+            setdefault(project(slots), None)
+        project_stats.seconds += perf_counter() - project_started
+        project_stats.rows_out += len(batch)
+    profile.rows_unique += len(derived)
+    profile.seconds += perf_counter() - started
+    return list(derived)
+
+
 def evaluate_batch(
     program: DatalogProgram,
     source: Instance,
     workers: int | None = None,
     batch_size: int = BATCH_SIZE,
     min_partition_rows: int | None = None,
+    analyze: bool = False,
 ) -> EvaluationResult:
     """Run the transformation on the batch runtime.
 
@@ -330,12 +445,22 @@ def evaluate_batch(
     (with exact statistics) before it runs.  With ``workers=N > 1`` the
     outer scan of sufficiently large rules is partitioned across a process
     pool (see :mod:`repro.datalog.exec.workers`).
+
+    ``analyze=True`` — or an active metrics registry — collects an
+    :class:`~repro.datalog.exec.profile.ExecutionProfile` (per-operator
+    rows/batches/seconds, EXPLAIN ANALYZE's data) on
+    ``EvaluationResult.profile`` and records its totals into the registry.
     """
     if program.target_schema is None:
         raise EvaluationError("program has no target schema")
     program.validate()
     if workers is not None and workers > 1:
         from .workers import run_plan_partitioned
+    collect = analyze or metrics_enabled()
+    profile = (
+        ExecutionProfile(engine="batch", workers=workers) if collect else None
+    )
+    run_started = perf_counter()
     with span("stage.evaluate", rules=len(program.rules), engine="batch") as trace:
         store = BatchStore()
         source_rows = 0
@@ -352,19 +477,40 @@ def evaluate_batch(
             with span(
                 "eval.stratum", stratum=stratum, relation=relation
             ) as stratum_trace:
+                stratum_profile: StratumProfile | None = None
+                if profile is not None:
+                    stratum_started = perf_counter()
+                    stratum_profile = StratumProfile(
+                        stratum=stratum, relation=relation
+                    )
+                    profile.strata.append(stratum_profile)
                 stats = store.sizes()
                 rows: dict[Row, None] = {}
                 for rule in program.rules_for(relation):
                     plan = plan_rule(rule, stats)
+                    rule_profile: RuleProfile | None = None
+                    if stratum_profile is not None:
+                        rule_profile = RuleProfile(
+                            relation=relation,
+                            rule_index=rule_index[id(rule)],
+                            n_slots=plan.n_slots,
+                            operators=operators_for_plan(plan),
+                        )
+                        stratum_profile.rules.append(rule_profile)
                     if workers is not None and workers > 1:
                         kwargs = {"batch_size": batch_size}
                         if min_partition_rows is not None:
                             kwargs["min_partition_rows"] = min_partition_rows
                         derived = run_plan_partitioned(
-                            plan, store, workers, **kwargs
+                            plan, store, workers, profile=rule_profile, **kwargs
                         )
                     else:
-                        derived = run_plan(plan, store, batch_size=batch_size)
+                        derived = run_plan(
+                            plan,
+                            store,
+                            batch_size=batch_size,
+                            profile=rule_profile,
+                        )
                     rule_counts[rule_index[id(rule)]] = len(derived)
                     count("eval.rules_evaluated")
                     count("eval.derived_tuples", len(derived))
@@ -373,6 +519,9 @@ def evaluate_batch(
                 count("eval.strata")
                 count("eval.tuples", len(rows))
                 stratum_trace.set(tuples=len(rows))
+                if stratum_profile is not None:
+                    stratum_profile.rows = len(rows)
+                    stratum_profile.seconds = perf_counter() - stratum_started
                 computed[relation] = list(rows)
                 # Derived rows are built from already-interned slot values
                 # (plus fresh LabeledNulls), so re-interning buys nothing.
@@ -385,9 +534,15 @@ def evaluate_batch(
         intermediates = {
             name: computed.get(name, []) for name in program.intermediates
         }
+    if profile is not None:
+        profile.source_rows = source_rows
+        profile.target_rows = target.total_size()
+        profile.seconds = perf_counter() - run_started
+        emit_profile_metrics(profile)
     return EvaluationResult(
         target=target,
         intermediates=intermediates,
         rule_counts=[rule_counts.get(i, 0) for i in range(len(program.rules))],
         run_report=stage_report(trace, "evaluation"),
+        profile=profile,
     )

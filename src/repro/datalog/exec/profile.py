@@ -1,0 +1,320 @@
+"""Execution profiles: the data behind EXPLAIN ANALYZE.
+
+A profile is the *measured* twin of a compiled plan: one
+:class:`OperatorStats` per operator of every :class:`RulePlan` (rows in and
+out, batches, wall seconds, index build-vs-probe split), rolled up into
+:class:`RuleProfile`, :class:`StratumProfile` and :class:`ExecutionProfile`.
+The batch runtime fills these in when ``evaluate_batch(..., analyze=True)``
+or an active metrics registry asks for collection; the reference
+interpreter produces the rule-level rollups (it has no static operator
+pipeline to annotate).
+
+Invariants the differential tests pin down (``tests/test_explain_analyze.py``):
+
+* within one rule pipeline, every operator's ``rows_in`` equals the
+  previous operator's ``rows_out`` (batches that empty out early contribute
+  zero to both sides);
+* a rule's ``rows_unique`` equals the engine's per-rule derived count
+  (``EvaluationResult.rule_counts``);
+* a stratum's ``rows`` equals the materialized relation's size after
+  cross-rule deduplication.
+
+Profiles are plain picklable dataclasses, so ``workers=N`` subprocesses
+ship their per-slice profiles back to the parent, which folds them with
+:meth:`RuleProfile.merge` (all fields are additive).  Rendering
+(:meth:`ExecutionProfile.render`) produces the annotated operator trees of
+``repro run --explain-analyze`` / ``repro plan --analyze``;
+:meth:`ExecutionProfile.to_dict` is the JSON form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ...obs import metric_inc, metric_observe, metrics_enabled
+from .plan import RulePlan
+
+
+@dataclass
+class OperatorStats:
+    """Measured totals for one operator of one rule pipeline."""
+
+    kind: str  # scan | join | filter | antijoin | project
+    description: str  # the operator's static rendering (plan text)
+    relation: str | None = None  # the relation read (scan/join/antijoin)
+    rows_in: int = 0
+    rows_out: int = 0
+    batches: int = 0
+    seconds: float = 0.0
+    #: joins only: seconds spent building (or fetching) the hash index
+    build_seconds: float = 0.0
+    index_hits: int = 0
+    index_misses: int = 0
+
+    @property
+    def selectivity(self) -> float | None:
+        """rows_out / rows_in, or None when nothing flowed in."""
+        if self.rows_in <= 0:
+            return None
+        return self.rows_out / self.rows_in
+
+    def merge(self, other: "OperatorStats") -> None:
+        self.rows_in += other.rows_in
+        self.rows_out += other.rows_out
+        self.batches += other.batches
+        self.seconds += other.seconds
+        self.build_seconds += other.build_seconds
+        self.index_hits += other.index_hits
+        self.index_misses += other.index_misses
+
+    def annotate(self) -> str:
+        """The measured annotation appended to the static operator text."""
+        parts = [f"rows_in={self.rows_in}", f"rows_out={self.rows_out}"]
+        if self.kind == "scan":
+            parts.append(f"batches={self.batches}")
+        selectivity = self.selectivity
+        if self.kind in ("filter", "antijoin") and selectivity is not None:
+            parts.append(f"sel={selectivity:.2f}")
+        if self.kind == "join":
+            source = "hit" if self.index_hits else "built"
+            parts.append(
+                f"index={source} build={self.build_seconds * 1000:.2f}ms"
+            )
+        parts.append(f"{self.seconds * 1000:.2f}ms")
+        return "  ".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "kind": self.kind,
+            "operator": self.description,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "batches": self.batches,
+            "seconds": self.seconds,
+        }
+        if self.relation is not None:
+            data["relation"] = self.relation
+        if self.kind == "join":
+            data["build_seconds"] = self.build_seconds
+            data["index_hits"] = self.index_hits
+            data["index_misses"] = self.index_misses
+        selectivity = self.selectivity
+        if selectivity is not None:
+            data["selectivity"] = selectivity
+        return data
+
+
+def operators_for_plan(plan: RulePlan) -> list[OperatorStats]:
+    """Fresh, zeroed operator stats mirroring one compiled rule plan."""
+    stats: list[OperatorStats] = []
+    if plan.scan is not None:
+        stats.append(
+            OperatorStats(
+                kind="scan",
+                description=plan.scan.render(),
+                relation=plan.scan.relation,
+            )
+        )
+    for join in plan.joins:
+        stats.append(
+            OperatorStats(
+                kind="join", description=join.render(), relation=join.relation
+            )
+        )
+    for filter_op in plan.filters:
+        stats.append(OperatorStats(kind="filter", description=filter_op.render()))
+    for antijoin in plan.antijoins:
+        stats.append(
+            OperatorStats(
+                kind="antijoin",
+                description=antijoin.render(),
+                relation=antijoin.relation,
+            )
+        )
+    stats.append(
+        OperatorStats(
+            kind="project",
+            description=plan.project.render(),
+            relation=plan.project.relation,
+        )
+    )
+    return stats
+
+
+@dataclass
+class RuleProfile:
+    """One rule's measured pipeline: operator stats plus derived-row totals."""
+
+    relation: str  # the head relation
+    rule_index: int  # index into ``program.rules``
+    n_slots: int = 0
+    operators: list[OperatorStats] = field(default_factory=list)
+    #: distinct head rows after the rule's own deduplication
+    rows_unique: int = 0
+    seconds: float = 0.0
+
+    def merge(self, other: "RuleProfile") -> None:
+        """Fold a partitioned slice's profile into this one (additive)."""
+        if len(other.operators) != len(self.operators):
+            raise ValueError(
+                f"cannot merge rule profiles with {len(other.operators)} vs "
+                f"{len(self.operators)} operators"
+            )
+        for mine, theirs in zip(self.operators, other.operators):
+            mine.merge(theirs)
+        self.rows_unique += other.rows_unique
+        self.seconds += other.seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "relation": self.relation,
+            "rule": self.rule_index,
+            "slots": self.n_slots,
+            "rows_unique": self.rows_unique,
+            "seconds": self.seconds,
+            "operators": [op.to_dict() for op in self.operators],
+        }
+
+
+@dataclass
+class StratumProfile:
+    """One stratum: its rules plus the post-deduplication relation size."""
+
+    stratum: int
+    relation: str
+    rules: list[RuleProfile] = field(default_factory=list)
+    rows: int = 0  # materialized rows after cross-rule deduplication
+    seconds: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stratum": self.stratum,
+            "relation": self.relation,
+            "rows": self.rows,
+            "seconds": self.seconds,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+
+@dataclass
+class ExecutionProfile:
+    """The whole run: per-stratum profiles plus run-level totals."""
+
+    engine: str = "batch"
+    workers: int | None = None
+    source_rows: int = 0
+    target_rows: int = 0
+    seconds: float = 0.0
+    strata: list[StratumProfile] = field(default_factory=list)
+
+    def rule_profiles(self) -> list[RuleProfile]:
+        return [rule for stratum in self.strata for rule in stratum.rules]
+
+    def operator_totals(self) -> dict[str, OperatorStats]:
+        """Per-kind rollups over every rule (for the metrics exporters)."""
+        totals: dict[str, OperatorStats] = {}
+        for rule in self.rule_profiles():
+            for op in rule.operators:
+                rollup = totals.get(op.kind)
+                if rollup is None:
+                    totals[op.kind] = rollup = OperatorStats(
+                        kind=op.kind, description=f"all {op.kind} operators"
+                    )
+                rollup.merge(op)
+        return totals
+
+    def render(self) -> str:
+        """The annotated operator trees (EXPLAIN ANALYZE text output)."""
+        header = f"explain analyze ({self.engine} engine"
+        if self.workers:
+            header += f", workers={self.workers}"
+        header += (
+            f"): {self.source_rows} source rows -> {self.target_rows} "
+            f"target rows in {self.seconds * 1000:.2f} ms"
+        )
+        lines = [header]
+        for stratum in self.strata:
+            lines.append(
+                f"stratum {stratum.stratum}: {stratum.relation}  "
+                f"(rows={stratum.rows}, {stratum.seconds * 1000:.2f} ms)"
+            )
+            for rule in stratum.rules:
+                lines.append(
+                    f" rule {rule.rule_index} ({rule.n_slots} slots, "
+                    f"unique={rule.rows_unique}, {rule.seconds * 1000:.2f} ms):"
+                )
+                if not rule.operators:
+                    lines.append("  (no operator pipeline: reference engine)")
+                for op in rule.operators:
+                    lines.append(f"  {op.description}")
+                    lines.append(f"    -> {op.annotate()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "engine": self.engine,
+            "source_rows": self.source_rows,
+            "target_rows": self.target_rows,
+            "seconds": self.seconds,
+            "strata": [stratum.to_dict() for stratum in self.strata],
+        }
+        if self.workers is not None:
+            data["workers"] = self.workers
+        return data
+
+
+def emit_profile_metrics(profile: ExecutionProfile) -> None:
+    """Record a finished profile into the active metrics registry.
+
+    Both engines call this once per evaluation, so the metric families are
+    engine-comparable: ``eval.rows{kind,engine}``, ``eval.run.seconds``,
+    ``eval.rule.seconds{relation}``, and — batch engine only, since only it
+    has an operator pipeline — ``exec.operator.rows_in/rows_out/seconds{op}``,
+    ``exec.batches`` and ``exec.index.lookups{result}``.  A no-op when no
+    registry is installed (:func:`repro.obs.metrics_enabled`).
+    """
+    if not metrics_enabled():
+        return
+    engine = profile.engine
+    metric_inc("eval.rows", profile.source_rows, engine=engine, kind="source")
+    metric_inc("eval.rows", profile.target_rows, engine=engine, kind="target")
+    metric_inc("eval.strata", len(profile.strata), engine=engine)
+    metric_observe("eval.run.seconds", profile.seconds, engine=engine)
+    for stratum in profile.strata:
+        for rule in stratum.rules:
+            metric_inc("eval.rules", 1, engine=engine)
+            metric_inc(
+                "eval.rows", rule.rows_unique, engine=engine, kind="derived"
+            )
+            metric_observe(
+                "eval.rule.seconds",
+                rule.seconds,
+                engine=engine,
+                relation=rule.relation,
+            )
+    for kind, totals in sorted(profile.operator_totals().items()):
+        metric_inc(
+            "exec.operator.rows_in", totals.rows_in, engine=engine, op=kind
+        )
+        metric_inc(
+            "exec.operator.rows_out", totals.rows_out, engine=engine, op=kind
+        )
+        metric_observe(
+            "exec.operator.seconds", totals.seconds, engine=engine, op=kind
+        )
+        if kind == "scan":
+            metric_inc("exec.batches", totals.batches, engine=engine)
+        elif kind == "join":
+            metric_inc(
+                "exec.index.lookups",
+                totals.index_hits,
+                engine=engine,
+                result="hit",
+            )
+            metric_inc(
+                "exec.index.lookups",
+                totals.index_misses,
+                engine=engine,
+                result="miss",
+            )

@@ -8,13 +8,21 @@ negated relations (only the scan is partitioned — joins and anti-joins must
 see every row), and the parent merges the per-slice results in slice order,
 deduplicating across slice boundaries.
 
-The payload shipped to a worker is ``(plan, scan slice, {relation: rows})``.
-Plans are picklable by construction (tagged tuples, no closures) and
-evaluation results (constants, ``NULL``, ``LabeledNull``) round-trip through
-pickle by value, so merging preserves set semantics.  Worker processes run
-without the parent's tracer: ``eval.batches`` / ``eval.index_reuse`` only
-count the parent's share under ``workers=N`` (documented in
-``docs/ENGINE.md``).
+The payload shipped to a worker is ``(plan, scan slice, {relation: rows},
+collect_profile)``.  Plans are picklable by construction (tagged tuples, no
+closures) and evaluation results (constants, ``NULL``, ``LabeledNull``)
+round-trip through pickle by value, so merging preserves set semantics.
+
+Worker processes start without the parent's contextvars, so each worker
+runs its slice under a private :class:`~repro.obs.tracer.Tracer` and ships
+the counters (``eval.batches``, ``eval.index_reuse``) back with the rows;
+the parent replays them into its active tracer.  Per-operator profiles
+(when EXPLAIN ANALYZE or a metrics registry is collecting) come back the
+same way and are folded with :meth:`RuleProfile.merge` — rows and seconds
+add across disjoint slices, while the parent's post-merge deduplication
+count overwrites ``rows_unique``.  Note that ``eval.batches`` and index
+hit/miss splits are *not* comparable with a serial run: each worker batches
+its own slice and builds its own indexes.
 
 Partitioning only pays off when the scan is large; rules whose outer
 relation has fewer than :data:`MIN_PARTITION_ROWS` rows run inline in the
@@ -24,10 +32,13 @@ parent.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
 
 from ...model.instance import Row
+from ...obs import Tracer, count, use_tracer
 from .batch import BATCH_SIZE, BatchStore, run_plan
 from .plan import RulePlan
+from .profile import RuleProfile, operators_for_plan
 
 #: Below this many outer-scan rows the pool overhead dominates: run inline.
 MIN_PARTITION_ROWS = 2048
@@ -43,15 +54,31 @@ def _relations_read(plan: RulePlan) -> list[str]:
     return list(names)
 
 
-def _run_slice(payload) -> list[Row]:
-    """Worker entry point: evaluate one plan over one scan slice."""
-    plan, scan_rows, relations = payload
+def _run_slice(payload) -> tuple[list[Row], dict[str, int], RuleProfile | None]:
+    """Worker entry point: evaluate one plan over one scan slice.
+
+    Returns ``(rows, tracer counters, slice profile or None)`` so nothing
+    measured inside the pool is lost: the parent replays the counters and
+    merges the profile.
+    """
+    plan, scan_rows, relations, collect_profile = payload
     store = BatchStore()
     for name, rows in relations.items():
         store.add_relation(name, rows)
     if plan.scan is not None and plan.scan.relation not in relations:
         store.add_relation(plan.scan.relation, scan_rows)
-    return run_plan(plan, store, scan_rows=scan_rows)
+    profile = None
+    if collect_profile:
+        profile = RuleProfile(
+            relation=plan.project.relation,
+            rule_index=-1,  # a slice: the parent's profile has the real index
+            n_slots=plan.n_slots,
+            operators=operators_for_plan(plan),
+        )
+    tracer = Tracer()
+    with use_tracer(tracer):
+        derived = run_plan(plan, store, scan_rows=scan_rows, profile=profile)
+    return derived, tracer.counters, profile
 
 
 def run_plan_partitioned(
@@ -60,24 +87,41 @@ def run_plan_partitioned(
     workers: int,
     batch_size: int = BATCH_SIZE,
     min_partition_rows: int = MIN_PARTITION_ROWS,
+    profile: RuleProfile | None = None,
 ) -> list[Row]:
     """Derive one rule's head rows, partitioning the outer scan over a pool.
 
     Falls back to the inline :func:`run_plan` when the rule has no scan,
     the pool would have one slice, or the scan is too small to amortize
-    process startup and payload pickling.
+    process startup and payload pickling.  With ``profile`` set, the
+    per-slice profiles are merged into it (see module docstring).
     """
     if plan.scan is None or workers <= 1:
-        return run_plan(plan, store, batch_size=batch_size)
+        return run_plan(plan, store, batch_size=batch_size, profile=profile)
     scan_rows = store.rows(plan.scan.relation)
     if len(scan_rows) < min_partition_rows:
-        return run_plan(plan, store, batch_size=batch_size)
+        return run_plan(plan, store, batch_size=batch_size, profile=profile)
+    started = perf_counter()
     relations = {name: store.rows(name) for name in _relations_read(plan)}
     slices = [scan_rows[i::workers] for i in range(workers)]
-    payloads = [(plan, part, relations) for part in slices if part]
+    payloads = [
+        (plan, part, relations, profile is not None)
+        for part in slices
+        if part
+    ]
     derived: dict[Row, None] = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        for rows in pool.map(_run_slice, payloads):
+        for rows, counters, slice_profile in pool.map(_run_slice, payloads):
+            for name, value in counters.items():
+                count(name, value)
+            if profile is not None and slice_profile is not None:
+                profile.merge(slice_profile)
             for row in rows:
                 derived.setdefault(row, None)
+    if profile is not None:
+        # Slice-local uniques overcount rows shared across slices; the
+        # merged dict here is the rule's real post-dedup row count.  The
+        # rule's wall time is the parent's, not the sum of worker CPU.
+        profile.rows_unique = len(derived)
+        profile.seconds = perf_counter() - started
     return list(derived)

@@ -20,6 +20,7 @@ from ..logic.terms import Variable
 from ..model.instance import Instance
 from ..model.schema import Schema
 from ..model.values import NULL, LabeledNull, is_labeled_null, is_null
+from ..obs import metric_inc
 from ..datalog.engine import _Store, _eval_term, _join  # reuse the join machinery
 
 
@@ -91,11 +92,15 @@ def chase_with_tgds(
     target_schema = schema_mapping.target_schema
     assert isinstance(target_schema, Schema)
     result = Instance(target_schema)
+    bindings_seen = 0
+    invented = 0
+    rows_added = 0
     for mapping in schema_mapping:
         source_vars = mapping.source_variables()
         existential = mapping.existential_variables()
         label = mapping.label or "m"
         for bindings in _premise_bindings(mapping, source):
+            bindings_seen += 1
             values: dict[Variable, Any] = dict(bindings)
             witness = tuple(bindings[v] for v in source_vars)
             for var in existential:
@@ -105,11 +110,16 @@ def chase_with_tgds(
                     values[var] = NULL
                 else:
                     values[var] = LabeledNull(f"N_{var.name}@{label}", witness)
+                    invented += 1
             for atom in mapping.consequent:
                 row = tuple(
                     values[t] if isinstance(t, Variable) else t for t in atom.terms
                 )
                 result.add(atom.relation, row)
+                rows_added += 1
+    metric_inc("chase.bindings", bindings_seen, step="tgd")
+    metric_inc("chase.invented", invented, step="tgd")
+    metric_inc("chase.rows", rows_added, step="tgd")
     return result
 
 
@@ -237,9 +247,12 @@ def chase_with_key_egds(instance: Instance, resolve_nulls: bool = False) -> EgdC
                     if failure:
                         break
                 if failure:
+                    metric_inc("chase.merged", merged, step="egd")
+                    metric_inc("chase.failures", 1, step="egd")
                     return EgdChaseResult(current, merged, True, failure)
                 rebuilt.add(rel_schema.name, tuple(resolve(v) for v in base))
         if rebuilt == current:
+            metric_inc("chase.merged", merged, step="egd")
             return EgdChaseResult(rebuilt, merged, False)
         current = rebuilt
     return EgdChaseResult(current, merged, False)  # pragma: no cover - fixpoint reached

@@ -14,6 +14,11 @@ Layers:
   summary attached to pipeline results and merged by
   :meth:`repro.core.pipeline.MappingSystem.stats`;
 * :mod:`repro.obs.export` — JSON-lines and Chrome trace-event exporters;
+* :mod:`repro.obs.metrics` — the typed, labeled metrics registry
+  (counters, gauges, fixed-bucket histograms; per-run scopes and
+  cross-process merging) behind ``--explain-analyze`` and the exporters;
+* :mod:`repro.obs.metrics_export` — metrics snapshot JSON (pinned by
+  ``docs/metrics.schema.json``) and Prometheus/OpenMetrics text exposition;
 * :mod:`repro.obs.schema` — the mini JSON-schema validator used by CI to
   check emitted reports against ``docs/run_report.schema.json``.
 
@@ -30,6 +35,29 @@ from .export import (
     to_jsonl,
     write_chrome_trace,
     write_jsonl,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    NOOP_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricTypeError,
+    NoopMetricsRegistry,
+    current_metrics,
+    metric_inc,
+    metric_observe,
+    metric_set,
+    metrics_enabled,
+    use_metrics,
+)
+from .metrics_export import (
+    metrics_snapshot_json,
+    read_metrics_json,
+    to_openmetrics,
+    write_metrics_json,
+    write_openmetrics,
 )
 from .report import RunReport, span_to_dict
 from .tracer import (
@@ -53,21 +81,40 @@ def stage_report(root_span, label: str = "") -> RunReport | None:
 
 
 __all__ = [
+    "DEFAULT_BUCKETS",
     "NOOP",
+    "NOOP_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricTypeError",
+    "MetricsRegistry",
+    "NoopMetricsRegistry",
     "NoopTracer",
     "RunReport",
     "Span",
     "Tracer",
     "count",
+    "current_metrics",
     "current_tracer",
     "from_jsonl",
+    "metric_inc",
+    "metric_observe",
+    "metric_set",
+    "metrics_enabled",
+    "metrics_snapshot_json",
+    "read_metrics_json",
     "report_records",
     "span",
     "span_to_dict",
     "stage_report",
     "to_chrome_trace",
     "to_jsonl",
+    "to_openmetrics",
+    "use_metrics",
     "use_tracer",
     "write_chrome_trace",
     "write_jsonl",
+    "write_metrics_json",
+    "write_openmetrics",
 ]

@@ -446,3 +446,150 @@ class TestPlanCommand:
         ]
         assert any(op.startswith("scan ") for op in operators)
         assert any(op.startswith("project ") for op in operators)
+
+
+class TestExplainAnalyze:
+    def test_run_explain_analyze_prints_operator_tree(
+        self, problem_file, instance_file, capsys
+    ):
+        assert main([
+            "run", problem_file, instance_file,
+            "--engine", "batch", "--explain-analyze",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# explain analyze" in out
+        assert "explain analyze (batch engine)" in out
+        assert "source rows ->" in out
+        assert "stratum 0" in out
+        assert "rows_in=" in out and "rows_out=" in out
+        assert "scan " in out and "project " in out
+
+    def test_run_explain_analyze_reference_engine(
+        self, problem_file, instance_file, capsys
+    ):
+        assert main([
+            "run", problem_file, instance_file,
+            "--engine", "reference", "--explain-analyze",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "explain analyze (reference engine)" in out
+        assert "(no operator pipeline: reference engine)" in out
+
+    def test_explain_analyze_rejects_sqlite(
+        self, problem_file, instance_file, capsys
+    ):
+        assert main([
+            "run", problem_file, instance_file,
+            "--engine", "sqlite", "--explain-analyze",
+        ]) == 2
+        assert "--explain-analyze" in capsys.readouterr().err
+
+    def test_analyze_out_writes_profile_json(
+        self, problem_file, instance_file, tmp_path, capsys
+    ):
+        out_path = tmp_path / "analyze.json"
+        assert main([
+            "run", problem_file, instance_file,
+            "--engine", "batch", "--analyze-out", str(out_path),
+        ]) == 0
+        # --analyze-out alone triggers collection but not the text dump
+        assert "# explain analyze" not in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert payload["engine"] == "batch"
+        assert payload["strata"]
+        kinds = {
+            op["kind"]
+            for stratum in payload["strata"]
+            for rule in stratum["rules"]
+            for op in rule["operators"]
+        }
+        assert {"scan", "project"} <= kinds
+
+    def test_plan_analyze_renders_annotated_tree(
+        self, problem_file, instance_file, capsys
+    ):
+        assert main([
+            "plan", problem_file, "--analyze", "--instance", instance_file,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batch execution plan, analyzed" in out
+        assert "rows_in=" in out
+
+    def test_plan_analyze_requires_instance(self, problem_file, capsys):
+        assert main(["plan", problem_file, "--analyze"]) == 2
+        assert "--instance" in capsys.readouterr().err
+
+    def test_plan_analyze_json(self, problem_file, instance_file, capsys):
+        assert main([
+            "plan", problem_file, "--analyze",
+            "--instance", instance_file, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["analyze"]["engine"] == "batch"
+        assert payload["analyze"]["strata"]
+
+
+class TestMetricsExport:
+    def test_run_metrics_out_is_schema_valid(
+        self, problem_file, instance_file, tmp_path
+    ):
+        from repro.obs.schema import validate
+
+        out_path = tmp_path / "metrics.json"
+        assert main([
+            "run", problem_file, instance_file,
+            "--engine", "batch", "--metrics-out", str(out_path),
+        ]) == 0
+        payload = json.loads(out_path.read_text())
+        schema = json.loads(
+            (pathlib.Path(__file__).resolve().parent.parent
+             / "docs" / "metrics.schema.json").read_text()
+        )
+        validate(payload, schema)  # must not raise
+        names = {family["name"] for family in payload["metrics"]}
+        assert "eval.rows" in names
+        assert "exec.batches" in names
+        assert "eval.run.seconds" in names
+
+    def test_run_openmetrics_out(self, problem_file, instance_file, tmp_path):
+        out_path = tmp_path / "metrics.txt"
+        assert main([
+            "run", problem_file, instance_file,
+            "--engine", "batch", "--openmetrics-out", str(out_path),
+        ]) == 0
+        text = out_path.read_text()
+        assert text.endswith("# EOF\n")
+        assert "# TYPE eval_rows counter" in text
+        assert 'eval_rows_total{engine="batch",kind="target"}' in text
+
+
+class TestExplainWithInstance:
+    def test_explain_instance_shows_batch_counters(
+        self, problem_file, instance_file, capsys
+    ):
+        """Regression: explain omitted the batch engine's counters because
+        nothing was evaluated — --instance runs the engine first."""
+        assert main([
+            "explain", problem_file, "--instance", instance_file,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "--- telemetry ---" in out
+        assert "eval.batches" in out
+        assert "eval.index_reuse" in out
+
+    def test_explain_reference_engine_instance(
+        self, problem_file, instance_file, capsys
+    ):
+        assert main([
+            "explain", problem_file, "--instance", instance_file,
+            "--engine", "reference",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "eval.tuples" in out
+        assert "eval.batches" not in out  # no batching in the interpreter
+
+    def test_explain_without_instance_has_no_eval_counters(
+        self, problem_file, capsys
+    ):
+        assert main(["explain", problem_file]) == 0
+        assert "eval.batches" not in capsys.readouterr().out
