@@ -16,6 +16,11 @@ The public surface:
   over generated programs: :func:`analyze_flow` solves per-position
   nullability / provenance / key-origin fixpoints and emits the ``FLW*``
   diagnostics;
+* the constraint certifier (:mod:`repro.analysis.certify`) —
+  :func:`certify_program` statically proves (or refutes with a minimal
+  counterexample instance, or leaves UNKNOWN) every key, foreign-key and
+  NOT NULL constraint of the target schema, plus the program-level
+  chase-termination bound (``CER001``–``CER003``, ``TRM001``);
 * the semantic analyzer (:mod:`repro.analysis.semantic`) — chase-based
   containment (:func:`contained_in`, :func:`equivalent`), mapping/program
   minimization (:func:`minimize_program`,
@@ -61,6 +66,14 @@ _EXPORTS = {
     "solve": ".flow",
     "to_sarif": ".sarif",
     "to_sarif_json": ".sarif",
+    "certify_program": ".certify",
+    "certify_termination": ".certify",
+    "CertificationReport": ".certify",
+    "ConstraintVerdict": ".certify",
+    "TerminationCertificate": ".certify",
+    "PROVED": ".certify",
+    "REFUTED": ".certify",
+    "UNKNOWN": ".certify",
     "ContainmentEngine": ".semantic",
     "ConjunctiveQuery": ".semantic",
     "Witness": ".semantic",
@@ -76,6 +89,16 @@ __all__ = sorted(_EXPORTS)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .analyzer import analyze, quick_lint
+    from .certify import (
+        PROVED,
+        REFUTED,
+        UNKNOWN,
+        CertificationReport,
+        ConstraintVerdict,
+        TerminationCertificate,
+        certify_program,
+        certify_termination,
+    )
     from .datalog_lint import lint_program
     from .flow import (
         FlowReport,

@@ -155,6 +155,26 @@ CODES: dict[str, CodeInfo] = {
                  "Key-conflict resolution produced a program that violates a "
                  "target key on a canonical instance, or rewrote a mapping "
                  "beyond negation-disabling and functor renaming."),
+        CodeInfo("CER001", "target key not certified", ERROR, "§3.1",
+                 "The static certifier could not prove that the generated "
+                 "program preserves a target primary key: either a concrete "
+                 "counterexample source instance exists (REFUTED, error) or "
+                 "the egd-style reasoning was inconclusive (UNKNOWN, "
+                 "warning)."),
+        CodeInfo("CER002", "target foreign key not certified", ERROR, "§3.1",
+                 "The FK-projection query is not provably contained in the "
+                 "referenced-key query: the program may emit dangling "
+                 "references (REFUTED with counterexample, or UNKNOWN)."),
+        CodeInfo("CER003", "target NOT NULL not certified", ERROR, "§3.1",
+                 "The nullability fixpoint cannot exclude null reaching a "
+                 "mandatory target attribute (REFUTED with counterexample, "
+                 "or UNKNOWN)."),
+        CodeInfo("TRM001", "program chase not provably terminating", ERROR,
+                 "§3.1",
+                 "The generated program's Skolem-position dependency graph "
+                 "has a cycle through a special edge, so no chase-depth "
+                 "bound exists and the constraint certifier cannot run its "
+                 "other passes."),
     )
 }
 

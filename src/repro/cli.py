@@ -9,7 +9,8 @@ Usage (after installation, via ``python -m repro``):
   transformation on an instance (``--engine batch`` for the planned
   set-oriented runtime, ``--workers N`` to partition large scans across
   processes; ``--engine sqlite`` runs on SQLite, ``--enforce`` with real
-  constraints; ``--validate`` prints the target constraint report);
+  constraints; ``--validate`` prints the target constraint report,
+  ``--fail-on-violation`` additionally exits non-zero when it is not clean);
 * ``python -m repro plan problem.txt`` (or ``--scenario NAME``) — dump the
   batch runtime's compiled operator trees (``--json`` for machine-readable
   output);
@@ -28,6 +29,13 @@ Usage (after installation, via ``python -m repro``):
   nullability, source provenance and key-origin, the static functionality
   confirmations, and the ``FLW*`` findings (``--json`` for a
   machine-readable dump);
+* ``python -m repro certify problem.txt`` (or ``--scenario NAME``, or
+  ``--all-scenarios``) — statically prove, refute with a minimal
+  counterexample source instance, or leave UNKNOWN every key, foreign-key
+  and NOT NULL constraint of the target schema plus the chase-termination
+  bound (``--json`` / ``--sarif-out PATH`` for machine-readable output,
+  ``--fail-on {refuted,unknown,never}`` for the exit policy; the findings
+  also fold into ``lint --certify``);
 * ``python -m repro reproduce`` — re-run every figure/example of the paper
   and print the paper-vs-measured verdict table;
 * ``python -m repro bench-diff baseline.json current.json`` — the
@@ -178,9 +186,16 @@ def cmd_run(args) -> int:
         )
         target = result.target
     print(target.to_text())
-    if args.validate:
+    if args.validate or args.fail_on_violation:
+        report = validate_instance(target)
         print()
-        print("validation:", validate_instance(target).summary())
+        print("validation:", report.summary())
+        for item in report.diagnostics():
+            print(f"  {item.render()}")
+        if args.fail_on_violation and not report.ok:
+            _emit_telemetry(system, args)
+            _emit_metrics(system, args)
+            return 1
     if result is not None and result.profile is not None:
         if args.explain_analyze:
             print()
@@ -405,6 +420,59 @@ def cmd_flow(args) -> int:
     return 0
 
 
+def cmd_certify(args) -> int:
+    """Statically certify the target constraints of one or more problems.
+
+    For every key, foreign key and NOT NULL constraint of the target schema
+    the certifier prints PROVED (with the proof witness), REFUTED (with a
+    minimal counterexample source instance, confirmed on both engines) or
+    UNKNOWN, plus the program-level chase-termination bound.
+    """
+    from .analysis.sarif import to_sarif_json
+
+    problems: list[MappingProblem] = []
+    if args.all_scenarios:
+        from . import scenarios
+
+        bundled = scenarios.bundled_problems()
+        problems.extend(bundled[name] for name in sorted(bundled))
+    else:
+        problem = _resolve_problem(args)
+        if problem is None:
+            return 2
+        problems.append(problem)
+
+    reports = []
+    for problem in problems:
+        system = MappingSystem(problem, algorithm=args.algorithm)
+        reports.append(system.certify())
+
+    if args.sarif_out:
+        sarif = to_sarif_json(*[report.diagnostics() for report in reports])
+        with open(args.sarif_out, "w") as handle:
+            handle.write(sarif + "\n")
+    if args.json:
+        payload = [report.to_dict() for report in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload, indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+            print()
+        proved = sum(len(r.proved) for r in reports)
+        refuted = sum(len(r.refuted) for r in reports)
+        unknown = sum(len(r.unknown) for r in reports)
+        print(
+            f"{len(reports)} subject(s): {proved} proved, {refuted} refuted, "
+            f"{unknown} unknown"
+        )
+
+    if args.fail_on == "never":
+        return 0
+    if args.fail_on == "unknown":
+        return 0 if all(report.ok for report in reports) else 1
+    return 1 if any(report.refuted for report in reports) else 0
+
+
 def cmd_plan(args) -> int:
     """Dump the batch runtime's compiled operator trees for one problem."""
     problem = _resolve_problem(args)
@@ -505,6 +573,8 @@ def cmd_lint(args) -> int:
     for name, problem, parse_diags in subjects:
         report = analyze(problem, deep=not args.no_deep, algorithm=args.algorithm,
                          flow=args.flow)
+        if args.certify:
+            report.extend(_certify_lint(problem, algorithm=args.algorithm))
         if args.semantic or args.verify_optimizations:
             report.extend(
                 _semantic_lint(
@@ -554,6 +624,16 @@ def cmd_lint(args) -> int:
         for item in report
     )
     return 1 if failing else 0
+
+
+def _certify_lint(problem, algorithm: str) -> list:
+    """The opt-in certification lint pass: CER001–003/TRM001 findings for
+    every constraint the certifier could not prove."""
+    try:
+        system = MappingSystem(problem, algorithm=algorithm)
+        return system.certify().diagnostics().diagnostics
+    except ReproError:
+        return []  # the structural analyzer already reported the failure
 
 
 def _semantic_lint(problem, algorithm: str, semantic: bool, verify: bool) -> list:
@@ -696,6 +776,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--validate", action="store_true",
                             help="report target constraint violations")
     run_parser.add_argument(
+        "--fail-on-violation", action="store_true",
+        help="validate the target and exit 1 when any constraint is "
+             "violated (implies --validate; the CI gate)",
+    )
+    run_parser.add_argument(
         "--explain-analyze", action="store_true",
         help="print the measured operator trees (rows in/out, batches, "
              "timings, index hits) after the target instance",
@@ -792,6 +877,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     flow_parser.set_defaults(func=cmd_flow)
 
+    certify_parser = sub.add_parser(
+        "certify",
+        help="statically prove (or refute with a counterexample instance) "
+             "every target key, foreign-key and NOT NULL constraint",
+    )
+    certify_parser.add_argument(
+        "problem", nargs="?", help="problem file (.txt DSL or .json)"
+    )
+    certify_parser.add_argument(
+        "--scenario", metavar="NAME", help="certify one bundled scenario"
+    )
+    certify_parser.add_argument(
+        "--all-scenarios", action="store_true",
+        help="certify every bundled scenario (the CI configuration)",
+    )
+    certify_parser.add_argument(
+        "--algorithm", choices=[BASIC, NOVEL], default=NOVEL,
+        help="basic = Clio-style Algorithms 1+2; novel = the paper's 3+4",
+    )
+    certify_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the verdicts (witnesses and counterexamples included) "
+             "as JSON",
+    )
+    certify_parser.add_argument(
+        "--sarif-out", metavar="PATH",
+        help="write the CER/TRM findings as a SARIF 2.1.0 log to PATH",
+    )
+    certify_parser.add_argument(
+        "--fail-on", choices=["refuted", "unknown", "never"],
+        default="refuted",
+        help="exit 1 on any REFUTED constraint (default), on anything not "
+             "PROVED (unknown), or never",
+    )
+    certify_parser.set_defaults(func=cmd_certify)
+
     plan_parser = sub.add_parser(
         "plan",
         help="dump the batch runtime's compiled operator trees "
@@ -848,6 +969,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--flow", action="store_true",
         help="also run the abstract-interpretation flow engine over the "
              "generated program (FLW001/FLW002/FLW003 findings)",
+    )
+    lint_parser.add_argument(
+        "--certify", action="store_true",
+        help="also run the constraint certifier (CER001/CER002/CER003/"
+             "TRM001 on constraints not statically PROVED)",
     )
     lint_parser.add_argument(
         "--semantic", action="store_true",

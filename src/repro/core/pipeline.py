@@ -115,6 +115,7 @@ class MappingSystem:
         self._last_evaluation: EvaluationResult | None = None
         self._verification_report = None
         self._flow_report = None
+        self._certification_report = None
         self._fingerprint = self._problem_fingerprint()
         #: the AnalysisReport of the most recent :meth:`compile` quick lint
         self.lint_report = None
@@ -147,6 +148,7 @@ class MappingSystem:
             self._last_evaluation = None
             self._verification_report = None
             self._flow_report = None
+            self._certification_report = None
 
     # -- stage 1: schema mapping generation --------------------------------
 
@@ -234,6 +236,25 @@ class MappingSystem:
             with self._traced():
                 self._flow_report = analyze_flow(program, self.problem)
         return self._flow_report
+
+    def certify(self):
+        """Run (and cache) the constraint certifier over the generated program.
+
+        Returns the :class:`repro.analysis.certify.CertificationReport` with
+        one PROVED / REFUTED / UNKNOWN verdict per key, foreign key and
+        NOT NULL constraint of the target schema, plus the program-level
+        chase-termination certificate.  Forces the pipeline stages.
+        """
+        from ..analysis.certify import certify_program
+
+        self._check_fresh()
+        if self._certification_report is None:
+            program = self.transformation
+            with self._traced():
+                self._certification_report = certify_program(
+                    program, subject=self.problem.name
+                )
+        return self._certification_report
 
     def compile(self, strict: bool = True, flow: bool = False) -> DatalogProgram:
         """Lint cheaply, then run both pipeline stages and return the program.

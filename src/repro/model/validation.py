@@ -65,11 +65,18 @@ class ForeignKeyViolation:
 
 @dataclass
 class ValidationReport:
-    """All constraint violations found in an instance."""
+    """All constraint violations found in an instance.
+
+    ``schema`` is the schema the instance was validated against; it lets
+    :meth:`diagnostics` attach the DSL declaration spans of the violated
+    constraints, so runtime violations render with locations (and export to
+    SARIF) like static lint findings.
+    """
 
     null_violations: list[NullViolation]
     key_violations: list[KeyViolation]
     foreign_key_violations: list[ForeignKeyViolation]
+    schema: Any = None
 
     @property
     def ok(self) -> bool:
@@ -92,26 +99,61 @@ class ValidationReport:
 
         ``INS001`` per null violation, ``INS002`` per key violation,
         ``INS003`` per foreign-key violation (see :mod:`repro.analysis`).
+        When :attr:`schema` is set, each diagnostic carries the declaration
+        span of the violated constraint — the attribute for ``INS001``, the
+        relation for ``INS002``, the foreign key for ``INS003``.
         """
         from ..analysis.diagnostics import diagnostic
 
         found = [
             diagnostic(
-                "INS001", str(item), subject=f"{item.relation}.{item.attribute}"
+                "INS001",
+                str(item),
+                subject=f"{item.relation}.{item.attribute}",
+                span=self._attribute_span(item.relation, item.attribute),
             )
             for item in self.null_violations
         ]
         found.extend(
-            diagnostic("INS002", str(item), subject=item.relation)
+            diagnostic(
+                "INS002",
+                str(item),
+                subject=item.relation,
+                span=self._relation_span(item.relation),
+            )
             for item in self.key_violations
         )
         found.extend(
             diagnostic(
-                "INS003", str(item), subject=f"{item.relation}.{item.attribute}"
+                "INS003",
+                str(item),
+                subject=f"{item.relation}.{item.attribute}",
+                span=self._foreign_key_span(item.relation, item.attribute),
             )
             for item in self.foreign_key_violations
         )
         return found
+
+    def _relation_span(self, relation: str):
+        if self.schema is None or relation not in self.schema:
+            return None
+        return self.schema.relation(relation).span
+
+    def _attribute_span(self, relation: str, attribute: str):
+        if self.schema is None or relation not in self.schema:
+            return None
+        rel_schema = self.schema.relation(relation)
+        if not rel_schema.has_attribute(attribute):
+            return None
+        return rel_schema.attribute(attribute).span or rel_schema.span
+
+    def _foreign_key_span(self, relation: str, attribute: str):
+        if self.schema is None:
+            return None
+        for fk in self.schema.foreign_keys:
+            if fk.relation == relation and fk.attribute == attribute:
+                return fk.span
+        return self._attribute_span(relation, attribute)
 
     def summary(self) -> str:
         if self.ok:
@@ -163,4 +205,4 @@ def validate_instance(instance: Instance) -> ValidationReport:
                     ForeignKeyViolation(fk.relation, fk.attribute, fk.referenced, value, row)
                 )
 
-    return ValidationReport(nulls, keys, fks)
+    return ValidationReport(nulls, keys, fks, schema=schema)

@@ -95,6 +95,26 @@ class TestRun:
         out = capsys.readouterr().out
         assert "key violation" in out
 
+    def test_run_fail_on_violation_exits_nonzero(
+        self, problem_file, instance_file, capsys
+    ):
+        assert main([
+            "run", problem_file, instance_file,
+            "--algorithm", "basic", "--fail-on-violation",
+        ]) == 1
+        out = capsys.readouterr().out
+        # Violations render as located INS* diagnostics before the exit.
+        assert "INS002" in out and "error" in out
+
+    def test_run_fail_on_violation_clean_exits_zero(
+        self, problem_file, instance_file, capsys
+    ):
+        assert main([
+            "run", problem_file, instance_file, "--fail-on-violation",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "satisfies all constraints" in out
+
 
 class TestExplain:
     def test_explain_output(self, problem_file, capsys):

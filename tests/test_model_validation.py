@@ -100,3 +100,29 @@ def test_report_aggregation(cars2):
     assert len(report.foreign_key_violations) == 1
     assert len(report.all_violations()) == 3
     assert "1 null violation" in report.summary()
+
+
+def test_diagnostics_carry_declaration_spans():
+    """INS* diagnostics locate the violated constraint's DSL declaration."""
+    from repro.dsl.parser import parse_schema
+
+    schema = parse_schema(
+        """
+        relation U (u key)
+        relation T (k key, a, r? -> U)
+        """
+    )
+    instance = instance_from_dict(
+        schema,
+        {
+            "T": [
+                ("k1", NULL, "ghost"),
+                ("k1", "x", NULL),
+            ]
+        },
+    )
+    report = validate_instance(instance)
+    items = {item.code: item for item in report.diagnostics()}
+    assert set(items) == {"INS001", "INS002", "INS003"}
+    for item in items.values():
+        assert item.span is not None, item.code
