@@ -25,6 +25,7 @@ from repro.analysis.semantic.containment import (
 )
 from repro.analysis.semantic.minimize import minimize_program
 from repro.analysis.semantic.verifier import verify_system
+from repro.bench import stamp_metadata
 from repro.core.pipeline import MappingSystem
 from repro.obs import Tracer, use_tracer
 from repro.scenarios import cars
@@ -132,4 +133,5 @@ def _write_bench_report():
     yield
     if _reports:
         payload = {name: _reports[name] for name in sorted(_reports)}
-        OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        stamped = stamp_metadata(payload)
+        OUTPUT_PATH.write_text(json.dumps(stamped, indent=2) + "\n")

@@ -20,6 +20,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.flow import analyze_flow
+from repro.bench import stamp_metadata
 from repro.core.pipeline import MappingSystem
 from repro.scenarios import bundled_problems
 
@@ -93,4 +94,5 @@ def _write_bench_report():
     yield
     if _reports:
         payload = {name: _reports[name] for name in sorted(_reports)}
-        OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        stamped = stamp_metadata(payload)
+        OUTPUT_PATH.write_text(json.dumps(stamped, indent=2) + "\n")

@@ -1,0 +1,112 @@
+"""Cost-based join ordering for statistics-free plan compilation.
+
+The batch runtime plans each stratum with *live* row counts, where the
+greedy most-bound-first heuristic of :func:`repro.datalog.exec.plan.
+order_atoms` works well.  The static path (``repro plan``, golden
+snapshots, the SQL-pushdown compiler to come) has no statistics at all —
+every relation counts as empty and the greedy order degenerates to "most
+constants first, then input order".  The :class:`JoinOrderAdvisor` fills
+that gap with the symbolic cost model of :mod:`.bounds`: it enumerates
+join orders (exhaustively up to :data:`MAX_EXHAUSTIVE_ATOMS` atoms, the
+realistic ceiling for generated rules), prices each order as the sum of
+the symbolic intermediate-result bounds at the calibration point, and
+returns the provably cheapest one.  Key joins (fan-out one, via declared
+source keys) price linear; joins that cannot cover a key price as
+multiplications, so connected, key-walking orders — the FK paths of the
+paper's §4 correspondences — win automatically.
+
+``order_atoms`` consults an advisor only when its statistics mapping is
+empty, so runtime plans are unchanged.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from ...logic.atoms import RelationalAtom
+from ...logic.terms import Variable
+from .facts import CostFacts
+from .polynomial import ONE, Polynomial
+
+#: Enumerate all orders up to this many body atoms; larger bodies fall
+#: back to the greedy heuristic (factorial blow-up is real).
+MAX_EXHAUSTIVE_ATOMS = 6
+
+
+class JoinOrderAdvisor:
+    """Prices candidate join orders with symbolic cardinality bounds."""
+
+    def __init__(self, facts: CostFacts):
+        self.facts = facts
+
+    @staticmethod
+    def for_program(program) -> "JoinOrderAdvisor":
+        """An advisor over the program's schema-derived facts only.
+
+        Source keys are the load-bearing facts for join ordering; the
+        certifier/flow facts tighten *bounds* but never change fan-outs of
+        body (source or intermediate) relations, so the cheap fact base is
+        the right one for the planner hot path.
+        """
+        return JoinOrderAdvisor(CostFacts.for_program(program))
+
+    # -- the cost model ---------------------------------------------------
+
+    def _step_bound(
+        self, atom: RelationalAtom, bound_vars: set[Variable]
+    ) -> Polynomial:
+        """The fan-out bound of joining ``atom`` given already-bound vars."""
+        probed: set[int] = set()
+        for index, term in enumerate(atom.terms):
+            if not isinstance(term, Variable) or term in bound_vars:
+                probed.add(index)
+        if probed and (
+            self.facts.covers_key(atom.relation, probed)
+            or len(probed) == len(atom.terms)
+        ):
+            return ONE
+        return Polynomial.var(atom.relation)
+
+    def order_cost(
+        self, atoms: tuple[RelationalAtom, ...], order: list[int]
+    ) -> tuple[int, int]:
+        """Price one order: (total intermediate rows, final degree).
+
+        The cost is the sum over prefix steps of the symbolic bound on the
+        rows materialized after the step, evaluated at the calibration
+        point — the classic "sum of intermediate result sizes" objective.
+        """
+        from .bounds import _calibrate
+
+        running = ONE
+        total = ZERO_COST
+        bound_vars: set[Variable] = set()
+        for index in order:
+            atom = atoms[index]
+            running = running * self._step_bound(atom, bound_vars)
+            total = total + running
+            bound_vars.update(
+                t for t in atom.terms if isinstance(t, Variable)
+            )
+        return _calibrate(total), running.degree()
+
+    # -- the advisor entry point ------------------------------------------
+
+    def order(self, atoms: tuple[RelationalAtom, ...]) -> list[int] | None:
+        """The provably cheapest join order, or ``None`` to keep greedy."""
+        if len(atoms) < 2:
+            return None
+        if len(atoms) > MAX_EXHAUSTIVE_ATOMS:
+            return None
+        best: list[int] | None = None
+        best_key: tuple | None = None
+        for candidate in permutations(range(len(atoms))):
+            order = list(candidate)
+            cost, degree = self.order_cost(atoms, order)
+            key = (cost, degree, order)
+            if best_key is None or key < best_key:
+                best, best_key = order, key
+        return best
+
+
+ZERO_COST = Polynomial.const(0)

@@ -1,0 +1,295 @@
+"""Abstract interpretation of compiled operator trees into row-count bounds.
+
+The pass walks each rule's ``scan -> join* -> filter* -> antijoin* ->
+project`` pipeline (:mod:`repro.datalog.exec.plan`) and threads a symbolic
+:class:`~repro.analysis.cost.polynomial.Polynomial` upper bound on the rows
+flowing between operators, in the per-source-relation size variables:
+
+* a **scan** of relation ``R`` is bounded by ``size(R)`` — or ``1`` when
+  its constant filters pin a full known key, or ``0`` when it demands
+  ``null`` at a never-null position;
+* a **join** multiplies the incoming bound by the relation's *fan-out*:
+  ``1`` when the probe positions cover a known key of the probed relation
+  (a proved key bounds distinct matches; probing every position of a
+  set-semantics relation is the degenerate key), else ``size(R)``;
+* **filters** pass rows through unchanged — except a ``= null`` test over
+  a position the nullability fixpoint proves never-null (or a ``!= null``
+  test over an always-null position), which passes zero rows;
+* **antijoins** only discard rows;
+* the **project** closes the rule.  When the rule is statically functional
+  (flow engine, Algorithm 4) or its head relation's key is PROVED
+  (certifier), the rule's distinct output is also bounded by the number of
+  distinct key-expression values — the product of the sizes of the body
+  atoms binding the key slots — and the smaller of the two sound bounds
+  (at the calibration point) is kept.
+
+Every bound on derived relations is fully substituted down to source
+variables, so ``evaluate(source sizes)`` needs nothing else.  Soundness —
+``bound >= rows_out`` for every operator of every EXPLAIN ANALYZE profile
+on both engines, over every valid source instance — is asserted by
+``tests/test_cost_calibration.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ...datalog.exec.plan import JoinOp, RulePlan, ScanOp
+from ...datalog.program import Rule
+from .facts import CostFacts
+from .polynomial import ONE, ZERO, Polynomial
+
+#: The canonical calibration point used to order incomparable sound bounds:
+#: every relation is assumed to hold this many rows.
+CALIBRATION_SIZE = 1000
+
+
+def _calibrate(bound: Polynomial) -> int:
+    return bound.evaluate(
+        {name: CALIBRATION_SIZE for name in bound.variables()}
+    )
+
+
+def tighter(left: Polynomial, right: Polynomial) -> Polynomial:
+    """The preferred of two *individually sound* bounds (deterministic)."""
+    key_left = (_calibrate(left), left.degree(), left.render())
+    key_right = (_calibrate(right), right.degree(), right.render())
+    return left if key_left <= key_right else right
+
+
+@dataclass
+class OperatorBound:
+    """One operator's static output bound (mirrors ``OperatorStats``)."""
+
+    kind: str  # scan | join | filter | antijoin | project
+    description: str  # the operator's static rendering (plan text)
+    bound: Polynomial
+    #: why the bound is what it is ("key join on C3", "never-null filter")
+    note: str = ""
+
+    def to_dict(self) -> dict:
+        data = {
+            "kind": self.kind,
+            "operator": self.description,
+            "bound": self.bound.render(),
+            "degree": self.bound.degree(),
+        }
+        if self.note:
+            data["note"] = self.note
+        return data
+
+
+@dataclass
+class RuleBound:
+    """One rule pipeline's bounds, operator by operator."""
+
+    rule: Rule
+    relation: str
+    operators: list[OperatorBound] = field(default_factory=list)
+    #: bound on the rule's distinct derived rows
+    total: Polynomial = ZERO
+    #: True when the distinct-key refinement replaced the pipeline bound
+    key_refined: bool = False
+    #: True when some join has no bound probe positions (cross product)
+    cross_product: bool = False
+
+    def degree(self) -> int:
+        return self.total.degree()
+
+    def to_dict(self) -> dict:
+        return {
+            "relation": self.relation,
+            "rule": repr(self.rule),
+            "bound": self.total.render(),
+            "degree": self.degree(),
+            "key_refined": self.key_refined,
+            "cross_product": self.cross_product,
+            "operators": [op.to_dict() for op in self.operators],
+        }
+
+
+def _slot_origins(plan: RulePlan) -> dict[int, tuple[str, int, int]]:
+    """slot -> (relation, position, atom ordinal) from the captures."""
+    origins: dict[int, tuple[str, int, int]] = {}
+    ordinal = 0
+    if plan.scan is not None:
+        for position, slot in plan.scan.capture:
+            origins[slot] = (plan.scan.relation, position, ordinal)
+        ordinal += 1
+    for join in plan.joins:
+        for position, slot in join.capture:
+            origins[slot] = (join.relation, position, ordinal)
+        ordinal += 1
+    return origins
+
+
+def _expr_slots(expr) -> set[int]:
+    kind = expr[0]
+    if kind == "slot":
+        return {expr[1]}
+    if kind == "skolem":
+        slots: set[int] = set()
+        for arg in expr[2]:
+            slots |= _expr_slots(arg)
+        return slots
+    return set()
+
+
+def _scan_bound(
+    scan: ScanOp, sizes: Mapping[str, Polynomial], facts: CostFacts
+) -> tuple[Polynomial, str]:
+    for position in scan.null_eq:
+        if facts.never_null(scan.relation, position):
+            return ZERO, (
+                f"null demanded at never-null {scan.relation}[{position}]"
+            )
+    pinned = {position for position, _ in scan.const_eq}
+    if pinned and facts.covers_key(scan.relation, pinned):
+        return ONE, f"constants pin a key of {scan.relation}"
+    return sizes.get(scan.relation, ZERO), ""
+
+
+def _join_fanout(
+    join: JoinOp, sizes: Mapping[str, Polynomial], facts: CostFacts
+) -> tuple[Polynomial, str]:
+    for position, expr in zip(join.key_positions, join.key_exprs):
+        if expr == ("null",) and facts.never_null(join.relation, position):
+            return ZERO, (
+                f"null probed at never-null {join.relation}[{position}]"
+            )
+    probed = set(join.key_positions)
+    if facts.covers_key(join.relation, probed):
+        return ONE, f"probe covers a key of {join.relation}"
+    arity = len(join.key_positions) + len(join.capture) + len(join.same)
+    if probed and len(probed) == arity:
+        # Every position probed: set semantics admit at most one match.
+        return ONE, f"probe covers every position of {join.relation}"
+    return sizes.get(join.relation, ZERO), ""
+
+
+def _filter_bound(filter_op, plan: RulePlan, facts: CostFacts) -> str | None:
+    """A reason string when the filter provably passes zero rows."""
+    origins = _slot_origins(plan)
+    if filter_op.kind not in ("null", "nonnull"):
+        return None
+    slots = _expr_slots(filter_op.left)
+    for slot in slots:
+        origin = origins.get(slot)
+        if origin is None:
+            continue
+        relation, position, _ = origin
+        if filter_op.kind == "null" and facts.never_null(relation, position):
+            return f"s{slot} bound at never-null {relation}[{position}]"
+        if filter_op.kind == "nonnull" and facts.always_null(
+            relation, position
+        ):
+            return f"s{slot} bound at always-null {relation}[{position}]"
+    return None
+
+
+def _distinct_key_bound(
+    plan: RulePlan,
+    sizes: Mapping[str, Polynomial],
+    facts: CostFacts,
+    key_positions: tuple[int, ...],
+) -> Polynomial | None:
+    """Bound on distinct key-expression values the rule can emit."""
+    origins = _slot_origins(plan)
+    slots: set[int] = set()
+    for position in key_positions:
+        if position >= len(plan.project.exprs):
+            return None
+        slots |= _expr_slots(plan.project.exprs[position])
+    atoms: dict[int, str] = {}
+    for slot in slots:
+        origin = origins.get(slot)
+        if origin is None:
+            return None
+        relation, _, ordinal = origin
+        atoms[ordinal] = relation
+    bound = ONE
+    for ordinal in sorted(atoms):
+        bound = bound * sizes.get(atoms[ordinal], ZERO)
+    return bound
+
+
+def bound_rule_plan(
+    plan: RulePlan,
+    sizes: Mapping[str, Polynomial],
+    facts: CostFacts,
+) -> RuleBound:
+    """Thread a symbolic row bound through one compiled rule pipeline.
+
+    ``sizes`` maps every readable relation to its symbolic size — source
+    relations to their own variable, already-bounded intermediates to their
+    (source-variable) bound polynomial — so the returned bounds mention
+    source sizes only.
+    """
+    result = RuleBound(rule=plan.rule, relation=plan.project.relation)
+    if plan.scan is None:
+        current = ONE  # empty body: at most the single empty binding
+    else:
+        current, note = _scan_bound(plan.scan, sizes, facts)
+        result.operators.append(
+            OperatorBound("scan", plan.scan.render(), current, note)
+        )
+    for join in plan.joins:
+        fanout, note = _join_fanout(join, sizes, facts)
+        if not join.key_positions:
+            result.cross_product = True
+            note = f"cross product with {join.relation} (no bound positions)"
+        current = current * fanout
+        result.operators.append(
+            OperatorBound("join", join.render(), current, note)
+        )
+    for filter_op in plan.filters:
+        reason = _filter_bound(filter_op, plan, facts)
+        if reason is not None:
+            current = ZERO
+        result.operators.append(
+            OperatorBound(
+                "filter", filter_op.render(), current, reason or ""
+            )
+        )
+    for antijoin in plan.antijoins:
+        result.operators.append(
+            OperatorBound("antijoin", antijoin.render(), current)
+        )
+
+    total = current
+    note = ""
+    key_positions = _head_key_positions(plan, facts)
+    if key_positions is not None:
+        refinement = _distinct_key_bound(plan, sizes, facts, key_positions)
+        if refinement is not None and tighter(total, refinement) is refinement:
+            result.key_refined = True
+            total = refinement
+            note = "distinct-key refinement"
+    result.operators.append(
+        OperatorBound("project", plan.project.render(), total, note)
+    )
+    result.total = total
+    return result
+
+
+def _head_key_positions(
+    plan: RulePlan, facts: CostFacts
+) -> tuple[int, ...] | None:
+    """The head key positions when the distinct-key refinement is sound.
+
+    Sound in two independent cases: the rule itself is statically
+    functional (at most one distinct row per key value), or the head
+    relation's key constraint is PROVED (no reachable instance holds two
+    distinct rows with one key value, so distinct rows <= distinct keys).
+    """
+    relation = plan.project.relation
+    key = facts.head_keys.get(relation)
+    if key is None:
+        return None
+    if (
+        id(plan.rule) in facts.functional_rules
+        or relation in facts.proved_key_relations
+    ):
+        return key
+    return None

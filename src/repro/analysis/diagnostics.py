@@ -175,6 +175,32 @@ CODES: dict[str, CodeInfo] = {
                  "has a cycle through a special edge, so no chase-depth "
                  "bound exists and the constraint certifier cannot run its "
                  "other passes."),
+        CodeInfo("PLN001", "cross-product join in compiled plan", WARNING,
+                 "§6",
+                 "A join step of a compiled rule pipeline has no bound probe "
+                 "positions: it pairs every accumulated row with every row "
+                 "of the joined relation.  The cardinality bound picks up a "
+                 "full size factor; a correspondence path (foreign-key walk) "
+                 "connecting the atoms would avoid it."),
+        CodeInfo("PLN002", "super-linear rule cardinality bound", WARNING,
+                 "§6",
+                 "The symbolic row bound of a generated rule has total "
+                 "degree two or more in the source relation sizes, so its "
+                 "output can grow super-linearly.  Rules emitted from the "
+                 "paper's key-preserving correspondences are linear; a "
+                 "quadratic bound signals a join the key facts cannot "
+                 "tame."),
+        CodeInfo("PLN003", "unbounded Skolem fan-out", ERROR, "§3.1",
+                 "No chase-depth bound exists for the program (TRM001), so "
+                 "no finite cardinality bound exists for any derived "
+                 "relation: invented values can feed back into rule bodies "
+                 "indefinitely."),
+        CodeInfo("PLN004", "join order dominated by cost-advised order",
+                 INFO, "§6",
+                 "The statistics-free greedy join order of a rule is "
+                 "strictly more expensive, under the symbolic cost model, "
+                 "than the order the cost advisor found; the planner uses "
+                 "the advised order on the static path."),
     )
 }
 

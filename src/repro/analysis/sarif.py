@@ -119,3 +119,16 @@ def to_sarif(*reports: AnalysisReport) -> dict:
 def to_sarif_json(*reports: AnalysisReport, indent: int = 2) -> str:
     """The SARIF log as a JSON string (stable key order)."""
     return json.dumps(to_sarif(*reports), indent=indent, sort_keys=False)
+
+
+def write_sarif(path: str, *reports: AnalysisReport) -> str:
+    """Serialize ``reports`` and write the SARIF log to ``path``.
+
+    The single writer behind every ``--sarif-out`` CLI flag (lint, certify,
+    plan --cost): one trailing newline, stable key order.  Returns the JSON
+    text so callers printing to stdout don't serialize twice.
+    """
+    sarif = to_sarif_json(*reports)
+    with open(path, "w") as handle:
+        handle.write(sarif + "\n")
+    return sarif

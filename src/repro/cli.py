@@ -389,6 +389,20 @@ def _resolve_problem(args) -> MappingProblem | None:
     return None
 
 
+def _problem_batch(args) -> list[MappingProblem] | None:
+    """All subjects of a multi-scenario command (``--all-scenarios``) or
+    the single resolved problem; ``None`` after printing an error."""
+    if args.all_scenarios:
+        from . import scenarios
+
+        bundled = scenarios.bundled_problems()
+        return [bundled[name] for name in sorted(bundled)]
+    problem = _resolve_problem(args)
+    if problem is None:
+        return None
+    return [problem]
+
+
 def cmd_flow(args) -> int:
     """Dump the flow engine's solved abstract state for one problem."""
     problem = _resolve_problem(args)
@@ -428,19 +442,11 @@ def cmd_certify(args) -> int:
     minimal counterexample source instance, confirmed on both engines) or
     UNKNOWN, plus the program-level chase-termination bound.
     """
-    from .analysis.sarif import to_sarif_json
+    from .analysis.sarif import write_sarif
 
-    problems: list[MappingProblem] = []
-    if args.all_scenarios:
-        from . import scenarios
-
-        bundled = scenarios.bundled_problems()
-        problems.extend(bundled[name] for name in sorted(bundled))
-    else:
-        problem = _resolve_problem(args)
-        if problem is None:
-            return 2
-        problems.append(problem)
+    problems = _problem_batch(args)
+    if problems is None:
+        return 2
 
     reports = []
     for problem in problems:
@@ -448,9 +454,9 @@ def cmd_certify(args) -> int:
         reports.append(system.certify())
 
     if args.sarif_out:
-        sarif = to_sarif_json(*[report.diagnostics() for report in reports])
-        with open(args.sarif_out, "w") as handle:
-            handle.write(sarif + "\n")
+        write_sarif(
+            args.sarif_out, *[report.diagnostics() for report in reports]
+        )
     if args.json:
         payload = [report.to_dict() for report in reports]
         print(json.dumps(payload[0] if len(payload) == 1 else payload, indent=2))
@@ -474,15 +480,19 @@ def cmd_certify(args) -> int:
 
 
 def cmd_plan(args) -> int:
-    """Dump the batch runtime's compiled operator trees for one problem."""
-    problem = _resolve_problem(args)
-    if problem is None:
+    """Dump compiled operator trees (and, with ``--cost``, their bounds)."""
+    if args.analyze and args.all_scenarios:
+        print("error: --analyze works on a single problem", file=sys.stderr)
         return 2
-    system = MappingSystem(problem, algorithm=args.algorithm)
+    problems = _problem_batch(args)
+    if problems is None:
+        return 2
     if args.analyze:
         if not args.instance:
             print("error: --analyze requires --instance PATH", file=sys.stderr)
             return 2
+        problem = problems[0]
+        system = MappingSystem(problem, algorithm=args.algorithm)
         with open(args.instance) as handle:
             source = parse_instance(handle.read(), problem.source_schema)
         profile = system.run(source, engine="batch", analyze=True).profile
@@ -500,32 +510,54 @@ def cmd_plan(args) -> int:
             )
             print(profile.render())
         return 0
-    plan = system.plan()
+
+    payloads = []
+    for problem in problems:
+        system = MappingSystem(problem, algorithm=args.algorithm)
+        payload = {"problem": problem.name, "algorithm": args.algorithm}
+        if args.cost:
+            report = system.cost_report()
+            if args.json:
+                payload["cost"] = report.to_dict()
+            else:
+                print(
+                    f"# {problem.name}: static cost & cardinality bounds "
+                    f"({args.algorithm})"
+                )
+                print(report.render())
+                print()
+        else:
+            plan = system.plan()
+            if args.json:
+                payload["strata"] = [
+                    {
+                        "stratum": stratum,
+                        "relation": relation,
+                        "rules": [
+                            {
+                                "slots": rule_plan.n_slots,
+                                "operators": [
+                                    op.render() for op in rule_plan.operators()
+                                ],
+                            }
+                            for rule_plan in plan.plans[relation]
+                        ],
+                    }
+                    for stratum, relation in enumerate(plan.order)
+                ]
+            else:
+                print(
+                    f"# {problem.name}: batch execution plan "
+                    f"({args.algorithm})"
+                )
+                print(plan.render())
+        payloads.append(payload)
     if args.json:
-        payload = {
-            "problem": problem.name,
-            "algorithm": args.algorithm,
-            "strata": [
-                {
-                    "stratum": stratum,
-                    "relation": relation,
-                    "rules": [
-                        {
-                            "slots": rule_plan.n_slots,
-                            "operators": [
-                                op.render() for op in rule_plan.operators()
-                            ],
-                        }
-                        for rule_plan in plan.plans[relation]
-                    ],
-                }
-                for stratum, relation in enumerate(plan.order)
-            ],
-        }
-        print(json.dumps(payload, indent=2))
-    else:
-        print(f"# {problem.name}: batch execution plan ({args.algorithm})")
-        print(plan.render())
+        print(
+            json.dumps(
+                payloads[0] if len(payloads) == 1 else payloads, indent=2
+            )
+        )
     return 0
 
 
@@ -537,7 +569,7 @@ def cmd_lint(args) -> int:
         AnalysisReport,
         severity_at_least,
     )
-    from .analysis.sarif import to_sarif_json
+    from .analysis.sarif import to_sarif_json, write_sarif
     from .dsl.parser import parse_problem_lenient
 
     subjects: list[tuple[str, MappingProblem, list]] = []
@@ -575,6 +607,8 @@ def cmd_lint(args) -> int:
                          flow=args.flow)
         if args.certify:
             report.extend(_certify_lint(problem, algorithm=args.algorithm))
+        if args.cost:
+            report.extend(_cost_lint(problem, algorithm=args.algorithm))
         if args.semantic or args.verify_optimizations:
             report.extend(
                 _semantic_lint(
@@ -596,11 +630,10 @@ def cmd_lint(args) -> int:
         reports.append(merged)
 
     sarif = None
-    if args.format == "sarif" or args.sarif_out:
-        sarif = to_sarif_json(*reports)
     if args.sarif_out:
-        with open(args.sarif_out, "w") as handle:
-            handle.write(sarif + "\n")
+        sarif = write_sarif(args.sarif_out, *reports)
+    elif args.format == "sarif":
+        sarif = to_sarif_json(*reports)
     if args.format == "sarif":
         print(sarif)
     else:
@@ -632,6 +665,16 @@ def _certify_lint(problem, algorithm: str) -> list:
     try:
         system = MappingSystem(problem, algorithm=algorithm)
         return system.certify().diagnostics().diagnostics
+    except ReproError:
+        return []  # the structural analyzer already reported the failure
+
+
+def _cost_lint(problem, algorithm: str) -> list:
+    """The opt-in cost lint pass: PLN001–PLN004 findings from the symbolic
+    cardinality bounds over the compiled plans (full fact base)."""
+    try:
+        system = MappingSystem(problem, algorithm=algorithm)
+        return list(system.cost_report().findings)
     except ReproError:
         return []  # the structural analyzer already reported the failure
 
@@ -925,12 +968,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario", metavar="NAME", help="plan one bundled scenario"
     )
     plan_parser.add_argument(
+        "--all-scenarios", action="store_true",
+        help="plan every bundled scenario (the CI configuration)",
+    )
+    plan_parser.add_argument(
         "--algorithm", choices=[BASIC, NOVEL], default=NOVEL,
         help="basic = Clio-style Algorithms 1+2; novel = the paper's 3+4",
     )
     plan_parser.add_argument(
         "--json", action="store_true",
         help="emit the per-stratum operator trees as JSON",
+    )
+    plan_parser.add_argument(
+        "--cost", action="store_true",
+        help="print the static cost & cardinality report instead: sound "
+             "symbolic row bounds (polynomials in the source relation "
+             "sizes) per operator, rule and derived relation",
     )
     plan_parser.add_argument(
         "--analyze", action="store_true",
@@ -974,6 +1027,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--certify", action="store_true",
         help="also run the constraint certifier (CER001/CER002/CER003/"
              "TRM001 on constraints not statically PROVED)",
+    )
+    lint_parser.add_argument(
+        "--cost", action="store_true",
+        help="also run the cost & cardinality certifier (PLN001–PLN004: "
+             "cross products, super-linear bounds, unbounded fan-out, "
+             "dominated join orders)",
     )
     lint_parser.add_argument(
         "--semantic", action="store_true",

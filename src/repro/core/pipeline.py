@@ -116,6 +116,7 @@ class MappingSystem:
         self._verification_report = None
         self._flow_report = None
         self._certification_report = None
+        self._cost_report = None
         self._fingerprint = self._problem_fingerprint()
         #: the AnalysisReport of the most recent :meth:`compile` quick lint
         self.lint_report = None
@@ -149,6 +150,7 @@ class MappingSystem:
             self._verification_report = None
             self._flow_report = None
             self._certification_report = None
+            self._cost_report = None
 
     # -- stage 1: schema mapping generation --------------------------------
 
@@ -255,6 +257,36 @@ class MappingSystem:
                     program, subject=self.problem.name
                 )
         return self._certification_report
+
+    def cost_report(self):
+        """Run (and cache) the cost & cardinality certifier.
+
+        Returns the :class:`repro.analysis.cost.CostReport` with one sound
+        symbolic row bound per operator, rule and derived relation of the
+        generated program, plus the ``PLN*`` diagnostics.  The fact base is
+        the full one: the certifier's PROVED keys and foreign keys
+        (:meth:`certify`) and the flow engine's functionality and
+        nullability results (:meth:`flow_report`) tighten the bounds beyond
+        what the schemas alone prove.  Forces the pipeline stages.
+        """
+        from ..analysis.cost import CostFacts, analyze_cost
+
+        self._check_fresh()
+        if self._cost_report is None:
+            program = self.transformation
+            certification = self.certify()
+            flow = self.flow_report()
+            with self._traced():
+                facts = CostFacts.for_program(
+                    program, certification=certification, flow=flow
+                )
+                self._cost_report = analyze_cost(
+                    program,
+                    subject=self.problem.name,
+                    facts=facts,
+                    plan=self.plan(),
+                )
+        return self._cost_report
 
     def compile(self, strict: bool = True, flow: bool = False) -> DatalogProgram:
         """Lint cheaply, then run both pipeline stages and return the program.

@@ -242,7 +242,9 @@ def _atom_bound_positions(
 
 
 def order_atoms(
-    atoms: tuple[RelationalAtom, ...], stats: Mapping[str, int]
+    atoms: tuple[RelationalAtom, ...],
+    stats: Mapping[str, int],
+    advisor=None,
 ) -> list[int]:
     """The join order: greedy most-bound-first, chosen once from statistics.
 
@@ -250,10 +252,19 @@ def order_atoms(
     with constant filters at equal size); each following atom maximizes the
     number of bound positions, breaking ties by relation size then original
     order.  Deterministic: depends only on the rule and the statistics.
+
+    When *no* statistics are available (the static path) and a cost
+    ``advisor`` (:class:`repro.analysis.cost.advisor.JoinOrderAdvisor`) is
+    supplied, its symbolically cheapest order wins instead — live row
+    counts, when present, stay authoritative.
     """
     remaining = list(range(len(atoms)))
     if not remaining:
         return []
+    if advisor is not None and not stats:
+        advised = advisor.order(atoms)
+        if advised is not None:
+            return advised
 
     def size(i: int) -> int:
         return stats.get(atoms[i].relation, 0)
@@ -353,16 +364,19 @@ def _compile_join(
     )
 
 
-def plan_rule(rule: Rule, stats: Mapping[str, int] | None = None) -> RulePlan:
+def plan_rule(
+    rule: Rule, stats: Mapping[str, int] | None = None, advisor=None
+) -> RulePlan:
     """Compile one rule into a :class:`RulePlan`.
 
     ``stats`` maps relation names to row counts; missing relations count as
     empty.  The batch runtime plans each stratum right before evaluating it,
     so every relation a rule reads — sources *and* already-computed
-    intermediates — has exact statistics.
+    intermediates — has exact statistics.  ``advisor`` is consulted for the
+    join order only when ``stats`` is empty (see :func:`order_atoms`).
     """
     stats = stats or {}
-    order = order_atoms(rule.body, stats)
+    order = order_atoms(rule.body, stats, advisor)
     slots: dict[Variable, int] = {}
     scan: ScanOp | None = None
     joins: list[JoinOp] = []
@@ -416,19 +430,33 @@ def plan_rule(rule: Rule, stats: Mapping[str, int] | None = None) -> RulePlan:
 
 
 def plan_program(
-    program: DatalogProgram, stats: Mapping[str, int] | None = None
+    program: DatalogProgram,
+    stats: Mapping[str, int] | None = None,
+    cost_advice: bool = True,
 ) -> ProgramPlan:
     """Compile every rule of a (validated) program, in stratification order.
 
     This is the static entry point behind ``repro plan``: statistics default
-    to empty, which makes the rendering deterministic without an instance.
+    to empty, and the join order then comes from the symbolic cost advisor
+    (key-aware, deterministic), keeping the rendering stable without an
+    instance.  Pass ``cost_advice=False`` for the bare greedy ordering.
     The batch runtime instead compiles stratum by stratum with live counts
     (see :mod:`repro.datalog.exec.batch`).
     """
     program.validate()
     order = stratify(program)
+    advisor = None
+    if cost_advice and not stats:
+        # Imported lazily: the cost analyzer imports this module at load
+        # time, so the planner reaches back only at call time.
+        from ...analysis.cost.advisor import JoinOrderAdvisor
+
+        advisor = JoinOrderAdvisor.for_program(program)
     plans = {
-        relation: [plan_rule(rule, stats) for rule in program.rules_for(relation)]
+        relation: [
+            plan_rule(rule, stats, advisor)
+            for rule in program.rules_for(relation)
+        ]
         for relation in order
     }
     return ProgramPlan(program=program, order=order, plans=plans)

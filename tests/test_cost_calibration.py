@@ -1,0 +1,174 @@
+"""Calibration: static bounds dominate measured row counts, both engines.
+
+The cost certifier's claim is *soundness*: for every valid source
+instance, the symbolic bound of every operator, rule and derived relation
+— evaluated at the instance's actual source relation sizes — is at least
+the row count the engines measure.  This harness closes the loop against
+EXPLAIN ANALYZE:
+
+* **batch, per operator**: the batch runtime re-plans each stratum with
+  live statistics, so the profiled pipelines can differ from the static
+  plan.  The test reconstructs each stratum's statistics from the profile
+  itself (source sizes plus the completed strata's row counts), re-plans,
+  verifies the reconstruction is exact (the rendered operators match the
+  profiled ones, ``est=N`` included), threads the bounds through the
+  reconstructed pipeline and checks every operator's ``rows_out``;
+* **reference, per rule and relation**: the tuple-at-a-time oracle has no
+  operator pipeline, so its ``rows_unique`` / stratum ``rows`` actuals
+  are checked against the static report's rule and relation bounds.
+
+Both run deterministically over all bundled scenarios, then again under
+hypothesis with fuzzed valid source instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.cost import (
+    CostFacts,
+    Polynomial,
+    ZERO,
+    analyze_cost,
+    bound_rule_plan,
+)
+from repro.core.pipeline import MappingSystem
+from repro.datalog.engine import evaluate
+from repro.datalog.exec import evaluate_batch
+from repro.datalog.exec.plan import plan_rule
+from repro.model.instance import Instance
+from repro.model.validation import validate_instance
+from repro.scenarios import bundled_problems
+
+from .test_certify_soundness import draw_source_instance
+from .test_explain_analyze import synthetic_source
+
+SCENARIOS = sorted(bundled_problems())
+
+_SYSTEMS: dict[str, MappingSystem] = {}
+_FACTS: dict[str, CostFacts] = {}
+
+
+def system_for(name: str) -> MappingSystem:
+    if name not in _SYSTEMS:
+        _SYSTEMS[name] = MappingSystem(bundled_problems()[name])
+    return _SYSTEMS[name]
+
+
+def facts_for(name: str) -> CostFacts:
+    """The full (certifier + flow) fact base, shared across examples."""
+    if name not in _FACTS:
+        system = system_for(name)
+        _FACTS[name] = CostFacts.for_program(
+            system.transformation,
+            certification=system.certify(),
+            flow=system.flow_report(),
+        )
+    return _FACTS[name]
+
+
+def _source_sizes(source: Instance) -> dict[str, int]:
+    return {
+        relation.name: len(source.relation(relation.name))
+        for relation in source.schema
+    }
+
+
+def assert_batch_profile_bounded(program, facts, source, profile) -> None:
+    """Every profiled batch operator stays under its symbolic bound."""
+    stats = _source_sizes(source)  # live statistics, reconstructed
+    at = dict(stats)  # the evaluation point: actual source sizes
+    sizes: dict[str, Polynomial] = {
+        name: Polynomial.var(name) for name in stats
+    }
+    for stratum in profile.strata:
+        relation_total = ZERO
+        for rule_profile in stratum.rules:
+            rule = program.rules[rule_profile.rule_index]
+            plan = plan_rule(rule, stats)
+            bound = bound_rule_plan(plan, sizes, facts)
+            # The reconstruction must be exact: same operators, same
+            # ``est=N`` statistics the runtime planned with.
+            assert [op.description for op in bound.operators] == [
+                op.description for op in rule_profile.operators
+            ], (profile.engine, stratum.relation, rule_profile.rule_index)
+            for measured, static in zip(
+                rule_profile.operators, bound.operators
+            ):
+                assert measured.kind == static.kind
+                value = static.bound.evaluate(at)
+                if static.kind == "project":
+                    # The key-refined bound covers *distinct* head rows.
+                    assert value >= rule_profile.rows_unique, (
+                        stratum.relation,
+                        static.description,
+                    )
+                    if not bound.key_refined:
+                        assert value >= measured.rows_out
+                else:
+                    assert value >= measured.rows_out, (
+                        stratum.relation,
+                        static.description,
+                        static.bound.render(),
+                    )
+            relation_total = relation_total + bound.total
+        assert relation_total.evaluate(at) >= stratum.rows, stratum.relation
+        stats[stratum.relation] = stratum.rows
+        sizes[stratum.relation] = relation_total
+
+
+def assert_static_report_dominates(report, source, profile) -> None:
+    """Relation/rule bounds of the static report cover measured actuals."""
+    at = _source_sizes(source)
+    by_relation = {cost.relation: cost for cost in report.relations}
+    for stratum in profile.strata:
+        cost = by_relation[stratum.relation]
+        assert cost.bound.evaluate(at) >= stratum.rows, stratum.relation
+        assert len(cost.rules) == len(stratum.rules)
+        for rule_profile, rule_bound in zip(stratum.rules, cost.rules):
+            assert rule_bound.total.evaluate(at) >= rule_profile.rows_unique, (
+                stratum.relation,
+                rule_profile.rule_index,
+            )
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_batch_operators_bounded_on_every_scenario(name):
+    system = system_for(name)
+    source = synthetic_source(system.problem, rows=7)
+    assert validate_instance(source).ok
+    result = evaluate_batch(system.transformation, source, analyze=True)
+    assert_batch_profile_bounded(
+        system.transformation, facts_for(name), source, result.profile
+    )
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_reference_rows_bounded_on_every_scenario(name):
+    system = system_for(name)
+    source = synthetic_source(system.problem, rows=7)
+    report = analyze_cost(
+        system.transformation, subject=name, facts=facts_for(name)
+    )
+    result = evaluate(system.transformation, source, analyze=True)
+    assert_static_report_dominates(report, source, result.profile)
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+@settings(max_examples=5, deadline=None)
+@given(data=st.data())
+def test_fuzzed_instances_never_exceed_bounds(name, data):
+    """Property: no valid source instance beats any static bound."""
+    system = system_for(name)
+    source = draw_source_instance(data.draw, system.problem.source_schema)
+    assert validate_instance(source).ok, "generator must produce valid input"
+    program = system.transformation
+    facts = facts_for(name)
+
+    batch = evaluate_batch(program, source, analyze=True)
+    assert_batch_profile_bounded(program, facts, source, batch.profile)
+
+    report = analyze_cost(program, subject=name, facts=facts)
+    reference = evaluate(program, source, analyze=True)
+    assert_static_report_dominates(report, source, reference.profile)
