@@ -201,6 +201,34 @@ CODES: dict[str, CodeInfo] = {
                  "strictly more expensive, under the symbolic cost model, "
                  "than the order the cost advisor found; the planner uses "
                  "the advised order on the static path."),
+        CodeInfo("SQL001", "SQL round-trip not proved", ERROR, "§6",
+                 "An emitted SQL statement, lowered back into a conjunctive "
+                 "query, could not be proved equivalent to the Datalog rule "
+                 "it was compiled from: the translation validator has no "
+                 "certificate that the SQL means what the rule means."),
+        CodeInfo("SQL002", "dialect-unsafe SQL construct", ERROR, "§6",
+                 "A statement uses a construct whose meaning is not portable "
+                 "across the supported dialects — e.g. a raw IS comparison "
+                 "between computed expressions, which is null-safe equality "
+                 "on SQLite but a syntax error elsewhere.  Use the "
+                 "dialect-parameterized AST nodes (NullSafeEq/NullSafeNe) "
+                 "instead."),
+        CodeInfo("SQL003", "ambiguous Skolem string encoding", ERROR, "§6",
+                 "An expression encodes an invented value without "
+                 "length-prefixed arguments, so distinct labeled nulls can "
+                 "collide (f('x,y') vs f('x','y')) and the target instance "
+                 "silently identifies values the chase keeps apart."),
+        CodeInfo("SQL004", "INSERT without duplicate elimination", WARNING,
+                 "§6",
+                 "An INSERT statement has neither SELECT DISTINCT nor an "
+                 "EXCEPT guard against rows already present; the SQL "
+                 "pipeline can produce bag semantics where the Datalog "
+                 "engine produces sets."),
+        CodeInfo("SQL005", "nondeterministic statement ordering", ERROR, "§6",
+                 "A pipeline statement reads a relation that a later "
+                 "statement writes: the pipeline's result depends on "
+                 "statement order beyond stratification, so it is not a "
+                 "faithful compilation of the stratified program."),
     )
 }
 

@@ -1,0 +1,270 @@
+"""Lowering emitted SQL trees back into conjunctive queries.
+
+The inverse direction of :mod:`repro.sqlgen.queries`: an ``INSERT ...
+SELECT`` tree is read *as SQL* — one fresh variable per (alias, column)
+pair, null-safe equalities as equalities, ``IS [NOT] NULL`` as null /
+non-null conditions, the canonical invented-value expression (recognized
+structurally by :func:`repro.sqlgen.ast.match_skolem_encode`) as a Skolem
+term, ``NOT EXISTS`` as a negated atom — producing the
+:class:`~repro.analysis.semantic.containment.ConjunctiveQuery` the
+statement *actually computes*.  The checker then asks the containment
+engine whether that query is equivalent to the rule the compiler claims it
+compiled.
+
+Lowering is deliberately partial: any construct without a faithful CQ
+reading (an unrecognized expression shape, a malformed ``NOT EXISTS``)
+aborts with a reason instead of guessing, and the statement's verdict
+degrades to UNKNOWN.  A wrong lowering could "prove" a wrong translation;
+a missing one only loses a certificate.
+
+Plain ``=`` is *not* null-safe: a row only qualifies when both operands
+are non-null, so variable operands additionally pick up a non-null
+condition.  Inline ``null`` terms in a rule body have no direct SQL
+counterpart (the compiler emits ``IS NULL`` on the column); to compare the
+two shapes, :func:`normalize_nulls` rewrites inline body nulls into fresh
+null-conditioned variables on *both* sides before the containment check —
+a semantics-preserving rewrite under the paper's reading of the unlabeled
+null as an ordinary value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...datalog.program import DatalogProgram
+from ...logic.atoms import Disequality, Equality, RelationalAtom
+from ...logic.terms import (
+    Constant,
+    NullTerm,
+    NULL_TERM,
+    SkolemTerm,
+    Term,
+    Variable,
+)
+from ...sqlgen.ast import (
+    Cmp,
+    Col,
+    InsertSelect,
+    IsNull,
+    Lit,
+    NotExists,
+    NullLit,
+    NullSafeEq,
+    NullSafeNe,
+    Select,
+    SqlExpr,
+    match_skolem_encode,
+)
+from ...sqlgen.queries import relation_columns
+from ..semantic.containment import ConjunctiveQuery
+
+
+class LoweringError(Exception):
+    """A construct with no faithful CQ reading (degrades to UNKNOWN)."""
+
+
+@dataclass
+class LoweringResult:
+    """The outcome of lowering one statement."""
+
+    query: ConjunctiveQuery | None
+    reason: str = ""  # why lowering failed (query is None)
+
+
+@dataclass
+class _Lowerer:
+    program: DatalogProgram
+    variables: dict[tuple[str, str], Variable] = field(default_factory=dict)
+    atoms: list[RelationalAtom] = field(default_factory=list)
+    null_vars: set[Variable] = field(default_factory=set)
+    nonnull_vars: set[Variable] = field(default_factory=set)
+    equalities: list[Equality] = field(default_factory=list)
+    disequalities: list[Disequality] = field(default_factory=list)
+    negated: list[RelationalAtom] = field(default_factory=list)
+
+    def _var(self, alias: str, column: str) -> Variable:
+        key = (alias, column)
+        existing = self.variables.get(key)
+        if existing is None:
+            existing = Variable(f"{alias}.{column}")
+            self.variables[key] = existing
+        return existing
+
+    def _bind_tables(self, select: Select) -> None:
+        for table in select.froms:
+            columns = relation_columns(self.program, table.name)
+            terms = tuple(self._var(table.alias, c) for c in columns)
+            self.atoms.append(RelationalAtom(table.name, terms))
+
+    def lower_expr(self, expr: SqlExpr) -> Term:
+        """The term an expression computes, or raise :class:`LoweringError`."""
+        if isinstance(expr, Col):
+            if (expr.alias, expr.column) not in self.variables:
+                raise LoweringError(
+                    f"column reference {expr.alias}.{expr.column} does not "
+                    "name a FROM table of the statement"
+                )
+            return self._var(expr.alias, expr.column)
+        if isinstance(expr, NullLit):
+            return NULL_TERM
+        skolem = match_skolem_encode(expr)
+        if skolem is not None:
+            functor, args = skolem
+            return SkolemTerm(functor, tuple(self.lower_expr(a) for a in args))
+        if isinstance(expr, Lit):
+            return Constant(expr.value)
+        raise LoweringError(
+            f"no conjunctive-query reading for expression "
+            f"{type(expr).__name__}"
+        )
+
+    def lower_predicate(self, predicate: object) -> None:
+        if isinstance(predicate, NullSafeEq):
+            self.equalities.append(
+                Equality(
+                    self.lower_expr(predicate.left),
+                    self.lower_expr(predicate.right),
+                )
+            )
+            return
+        if isinstance(predicate, NullSafeNe):
+            self.disequalities.append(
+                Disequality(
+                    self.lower_expr(predicate.left),
+                    self.lower_expr(predicate.right),
+                )
+            )
+            return
+        if isinstance(predicate, IsNull):
+            term = self.lower_expr(predicate.expr)
+            if not isinstance(term, Variable):
+                raise LoweringError(
+                    "IS NULL condition on a non-column expression"
+                )
+            (self.nonnull_vars if predicate.negated else self.null_vars).add(term)
+            return
+        if isinstance(predicate, Cmp):
+            op = predicate.op.upper()
+            left = self.lower_expr(predicate.left)
+            right = self.lower_expr(predicate.right)
+            if op in ("=", "IS"):
+                # Plain = additionally requires both operands non-null
+                # (NULL = x is never true); IS is null-safe.  Both lower to
+                # an equality, = adding the non-null conditions.
+                self.equalities.append(Equality(left, right))
+                if op == "=":
+                    for term in (left, right):
+                        if isinstance(term, Variable):
+                            self.nonnull_vars.add(term)
+                return
+            if op in ("<>", "!=", "IS NOT"):
+                self.disequalities.append(Disequality(left, right))
+                if op != "IS NOT":
+                    for term in (left, right):
+                        if isinstance(term, Variable):
+                            self.nonnull_vars.add(term)
+                return
+            raise LoweringError(f"comparison operator {predicate.op!r}")
+        if isinstance(predicate, NotExists):
+            self.negated.append(self._lower_negation(predicate.select))
+            return
+        raise LoweringError(
+            f"no conjunctive-query reading for predicate "
+            f"{type(predicate).__name__}"
+        )
+
+    def _lower_negation(self, subquery: Select) -> RelationalAtom:
+        """Read ``NOT EXISTS (SELECT 1 FROM rel n WHERE n.ci IS e_i ...)``
+        as the negated atom ``¬rel(e_0, ..., e_k)``."""
+        if len(subquery.froms) != 1:
+            raise LoweringError("NOT EXISTS subquery joins several tables")
+        table = subquery.froms[0]
+        columns = relation_columns(self.program, table.name)
+        bound: dict[str, Term] = {}
+        for predicate in subquery.where:
+            if not isinstance(predicate, NullSafeEq):
+                raise LoweringError(
+                    "NOT EXISTS subquery condition is not a null-safe "
+                    "column binding"
+                )
+            column = predicate.left
+            if not isinstance(column, Col) or column.alias != table.alias:
+                raise LoweringError(
+                    "NOT EXISTS subquery condition does not bind a "
+                    "subquery column"
+                )
+            if column.column in bound:
+                raise LoweringError(
+                    f"NOT EXISTS subquery binds column {column.column} twice"
+                )
+            bound[column.column] = self.lower_expr(predicate.right)
+        missing = [c for c in columns if c not in bound]
+        if missing:
+            raise LoweringError(
+                f"NOT EXISTS subquery leaves column(s) {missing} unbound"
+            )
+        return RelationalAtom(table.name, tuple(bound[c] for c in columns))
+
+
+def lower_statement(
+    statement: InsertSelect, program: DatalogProgram
+) -> LoweringResult:
+    """Lower one INSERT statement into the CQ it computes."""
+    lowerer = _Lowerer(program)
+    select = statement.select
+    try:
+        lowerer._bind_tables(select)
+        for predicate in select.where:
+            lowerer.lower_predicate(predicate)
+        head = tuple(lowerer.lower_expr(item.expr) for item in select.items)
+    except LoweringError as error:
+        return LoweringResult(query=None, reason=str(error))
+    query = ConjunctiveQuery(
+        head_label=statement.table,
+        head=head,
+        atoms=tuple(lowerer.atoms),
+        null_vars=frozenset(lowerer.null_vars),
+        nonnull_vars=frozenset(lowerer.nonnull_vars),
+        equalities=tuple(lowerer.equalities),
+        disequalities=tuple(lowerer.disequalities),
+        negated=tuple(lowerer.negated),
+    )
+    return LoweringResult(query=query)
+
+
+def normalize_nulls(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Replace inline ``null`` terms in positive body atoms with fresh
+    null-conditioned variables.
+
+    ``R(x, null)`` and ``R(x, v), v = null`` denote the same query under
+    the paper's semantics, but the homomorphism search matches ground body
+    terms syntactically, so the two shapes would not compare.  Rules write
+    the former, lowered statements the latter; both sides are normalized to
+    the latter before the containment check.
+    """
+    if not any(
+        isinstance(term, NullTerm) for atom in query.atoms for term in atom.terms
+    ):
+        return query
+    null_vars = set(query.null_vars)
+    atoms = []
+    for atom in query.atoms:
+        terms = []
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, NullTerm):
+                fresh = Variable(f"null@{atom.relation}.{position}")
+                null_vars.add(fresh)
+                terms.append(fresh)
+            else:
+                terms.append(term)
+        atoms.append(RelationalAtom(atom.relation, tuple(terms)))
+    return ConjunctiveQuery(
+        head_label=query.head_label,
+        head=query.head,
+        atoms=tuple(atoms),
+        null_vars=frozenset(null_vars),
+        nonnull_vars=query.nonnull_vars,
+        equalities=query.equalities,
+        disequalities=query.disequalities,
+        negated=query.negated,
+    )

@@ -36,6 +36,12 @@ Usage (after installation, via ``python -m repro``):
   bound (``--json`` / ``--sarif-out PATH`` for machine-readable output,
   ``--fail-on {refuted,unknown,never}`` for the exit policy; the findings
   also fold into ``lint --certify``);
+* ``python -m repro sql problem.txt`` (or ``--scenario NAME``, or
+  ``--all-scenarios``) — dump the compiled whole-program SQL pipeline
+  (intermediate DDL + one stratified INSERT per rule; ``--dialect
+  {sqlite,duckdb}``); ``--check`` runs the translation validator, printing
+  one PROVED / UNKNOWN round-trip verdict per statement with the
+  containment witnesses (the findings also fold into ``lint --sql``);
 * ``python -m repro reproduce`` — re-run every figure/example of the paper
   and print the paper-vs-measured verdict table;
 * ``python -m repro bench-diff baseline.json current.json`` — the
@@ -479,6 +485,58 @@ def cmd_certify(args) -> int:
     return 1 if any(report.refuted for report in reports) else 0
 
 
+def cmd_sql(args) -> int:
+    """Dump the compiled SQL pipeline (and, with ``--check``, its proofs).
+
+    The pipeline is the whole-mapping compilation: intermediate DDL plus
+    one INSERT per rule in stratification order, rendered for the chosen
+    dialect.  ``--check`` runs the translation validator and prints one
+    PROVED / UNKNOWN round-trip verdict per statement (exit 1 unless every
+    statement is PROVED and no structural finding is an error).
+    """
+    from .sqlgen import dialect_named
+
+    problems = _problem_batch(args)
+    if problems is None:
+        return 2
+    dialect = dialect_named(args.dialect)
+
+    payloads = []
+    ok = True
+    for problem in problems:
+        system = MappingSystem(problem, algorithm=args.algorithm)
+        pipeline = system.sql_pipeline()
+        payload: dict = {
+            "problem": problem.name,
+            "algorithm": args.algorithm,
+            "dialect": dialect.name,
+            "statements": pipeline.sql(dialect),
+        }
+        if args.check:
+            report = system.sql_report()
+            ok = ok and report.ok
+            payload["check"] = report.to_dict()
+            if not args.json:
+                print(f"# {problem.name}: SQL pipeline ({dialect.name})")
+                for statement in pipeline.sql(dialect):
+                    print(f"{statement};")
+                print(report.render())
+                print()
+        elif not args.json:
+            print(f"# {problem.name}: SQL pipeline ({dialect.name})")
+            for statement in pipeline.sql(dialect):
+                print(f"{statement};")
+            print()
+        payloads.append(payload)
+    if args.json:
+        print(
+            json.dumps(
+                payloads[0] if len(payloads) == 1 else payloads, indent=2
+            )
+        )
+    return 0 if (ok or not args.check) else 1
+
+
 def cmd_plan(args) -> int:
     """Dump compiled operator trees (and, with ``--cost``, their bounds)."""
     if args.analyze and args.all_scenarios:
@@ -607,6 +665,8 @@ def cmd_lint(args) -> int:
                          flow=args.flow)
         if args.certify:
             report.extend(_certify_lint(problem, algorithm=args.algorithm))
+        if args.sql:
+            report.extend(_sql_lint(problem, algorithm=args.algorithm))
         if args.cost:
             report.extend(_cost_lint(problem, algorithm=args.algorithm))
         if args.semantic or args.verify_optimizations:
@@ -665,6 +725,16 @@ def _certify_lint(problem, algorithm: str) -> list:
     try:
         system = MappingSystem(problem, algorithm=algorithm)
         return system.certify().diagnostics().diagnostics
+    except ReproError:
+        return []  # the structural analyzer already reported the failure
+
+
+def _sql_lint(problem, algorithm: str) -> list:
+    """The opt-in SQL lint pass: SQL001 for statements without a round-trip
+    proof plus the structural SQL002–SQL005 findings."""
+    try:
+        system = MappingSystem(problem, algorithm=algorithm)
+        return system.sql_report().diagnostics().diagnostics
     except ReproError:
         return []  # the structural analyzer already reported the failure
 
@@ -956,6 +1026,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     certify_parser.set_defaults(func=cmd_certify)
 
+    sql_parser = sub.add_parser(
+        "sql",
+        help="dump the compiled SQL pipeline (intermediate DDL + stratified "
+             "inserts) and, with --check, its round-trip proofs",
+    )
+    sql_parser.add_argument(
+        "problem", nargs="?", help="problem file (.txt DSL or .json)"
+    )
+    sql_parser.add_argument(
+        "--scenario", metavar="NAME", help="compile one bundled scenario"
+    )
+    sql_parser.add_argument(
+        "--all-scenarios", action="store_true",
+        help="compile every bundled scenario (the CI configuration)",
+    )
+    sql_parser.add_argument(
+        "--algorithm", choices=[BASIC, NOVEL], default=NOVEL,
+        help="basic = Clio-style Algorithms 1+2; novel = the paper's 3+4",
+    )
+    sql_parser.add_argument(
+        "--dialect", choices=["sqlite", "duckdb"], default="sqlite",
+        help="render the pipeline for this SQL dialect (default: sqlite)",
+    )
+    sql_parser.add_argument(
+        "--check", action="store_true",
+        help="run the translation validator: lower each statement back to "
+             "a conjunctive query and prove it equivalent to its rule "
+             "(exit 1 unless everything is PROVED)",
+    )
+    sql_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the statements (and --check verdicts) as JSON",
+    )
+    sql_parser.set_defaults(func=cmd_sql)
+
     plan_parser = sub.add_parser(
         "plan",
         help="dump the batch runtime's compiled operator trees "
@@ -1027,6 +1132,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--certify", action="store_true",
         help="also run the constraint certifier (CER001/CER002/CER003/"
              "TRM001 on constraints not statically PROVED)",
+    )
+    lint_parser.add_argument(
+        "--sql", action="store_true",
+        help="also run the SQL translation validator (SQL001 on statements "
+             "without a round-trip proof; SQL002–SQL005 structural "
+             "findings)",
     )
     lint_parser.add_argument(
         "--cost", action="store_true",

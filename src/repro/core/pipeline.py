@@ -117,6 +117,7 @@ class MappingSystem:
         self._flow_report = None
         self._certification_report = None
         self._cost_report = None
+        self._sql_report = None
         self._fingerprint = self._problem_fingerprint()
         #: the AnalysisReport of the most recent :meth:`compile` quick lint
         self.lint_report = None
@@ -151,6 +152,7 @@ class MappingSystem:
             self._flow_report = None
             self._certification_report = None
             self._cost_report = None
+            self._sql_report = None
 
     # -- stage 1: schema mapping generation --------------------------------
 
@@ -287,6 +289,38 @@ class MappingSystem:
                     plan=self.plan(),
                 )
         return self._cost_report
+
+    def sql_pipeline(self):
+        """Compile the generated program into its SQL pipeline.
+
+        Returns the :class:`repro.sqlgen.SqlPipeline` — intermediate DDL
+        plus one INSERT per rule in stratification order, renderable for
+        any supported dialect.  Forces the pipeline stages.  Not cached:
+        compilation is cheap and the pipeline is immutable.
+        """
+        from ..sqlgen import compile_program
+
+        return compile_program(self.transformation)
+
+    def sql_report(self):
+        """Run (and cache) the SQL translation validator.
+
+        Returns the :class:`repro.analysis.sqlcheck.SqlCheckReport` with
+        one PROVED / UNKNOWN round-trip verdict per compiled INSERT
+        statement (each PROVED verdict carries both containment witnesses)
+        plus the structural SQL002–SQL005 findings.  Forces the pipeline
+        stages.
+        """
+        from ..analysis.sqlcheck import check_pipeline
+
+        self._check_fresh()
+        if self._sql_report is None:
+            pipeline = self.sql_pipeline()
+            with self._traced():
+                self._sql_report = check_pipeline(
+                    pipeline, subject=self.problem.name
+                )
+        return self._sql_report
 
     def compile(self, strict: bool = True, flow: bool = False) -> DatalogProgram:
         """Lint cheaply, then run both pipeline stages and return the program.

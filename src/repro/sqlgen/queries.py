@@ -1,14 +1,20 @@
-"""Translation of generated Datalog programs to SQL.
+"""Translation of generated Datalog rules to SQL ASTs.
 
 Each rule becomes an ``INSERT INTO ... SELECT DISTINCT ...`` over a join of
 the body atoms; negated atoms become ``NOT EXISTS`` subqueries; null and
 non-null conditions become ``IS NULL`` / ``IS NOT NULL``; Skolem terms
-become string expressions encoding the invented value (see
-:mod:`repro.sqlgen.values`).
+become the canonical string expression encoding the invented value (see
+:func:`repro.sqlgen.ast.skolem_encode` and :mod:`repro.sqlgen.values`).
 
-Join and equality predicates use SQL's null-safe ``IS`` operator because, in
-the paper's semantics, the unlabeled null is an ordinary value — two null
-foreign keys join like any other pair of equal values.
+Join and equality predicates are :class:`~repro.sqlgen.ast.NullSafeEq`
+nodes because, in the paper's semantics, the unlabeled null is an ordinary
+value — two null foreign keys join like any other pair of equal values.
+The node renders as SQLite's null-safe ``IS`` or DuckDB's standard
+``IS NOT DISTINCT FROM`` depending on the dialect.
+
+The string-level entry points (:func:`rule_to_sql`, :func:`program_to_sql`,
+:func:`intermediate_ddl`) are thin renderings of the AST builders; the
+whole-program pipeline lives in :mod:`repro.sqlgen.compiler`.
 """
 
 from __future__ import annotations
@@ -17,163 +23,194 @@ from ..errors import QueryGenerationError
 from ..logic.atoms import RelationalAtom
 from ..logic.terms import Constant, NullTerm, SkolemTerm, Term, Variable
 from ..datalog.program import DatalogProgram, Rule
-from ..datalog.stratify import stratify
-from .ddl import quote_identifier
-from .values import INVENTED_PREFIX
+from .ast import (
+    Cmp,
+    Col,
+    CreateTable,
+    Dialect,
+    InsertSelect,
+    IsNull,
+    Lit,
+    NotExists,
+    NullLit,
+    NullSafeEq,
+    NullSafeNe,
+    Select,
+    SelectItem,
+    SQLITE,
+    SqlExpr,
+    SqlPred,
+    TableRef,
+    skolem_encode,
+    sql_literal,
+)
+
+__all__ = [
+    "sql_literal",
+    "relation_columns",
+    "rule_select",
+    "rule_insert",
+    "rule_to_sql",
+    "intermediate_tables",
+    "intermediate_ddl",
+    "program_to_sql",
+]
 
 
-def sql_literal(value: object) -> str:
-    if isinstance(value, (int, float)):
-        return str(value)
-    text = str(value).replace("'", "''")
-    return f"'{text}'"
-
-
-def _column_ref(alias: str, relation_columns: list[str], position: int) -> str:
-    return f"{alias}.{quote_identifier(relation_columns[position])}"
+def relation_columns(program: DatalogProgram, relation: str) -> list[str]:
+    """The column names of ``relation`` as the SQL backend sees them."""
+    for schema in (program.source_schema, program.target_schema):
+        if schema is not None and relation in schema:
+            return list(schema.relation(relation).attribute_names)
+    if relation in program.intermediates:
+        return [f"c{i}" for i in range(program.intermediates[relation])]
+    raise QueryGenerationError(f"unknown relation {relation!r} in SQL translation")
 
 
 class _RuleTranslator:
-    """Builds the SELECT for one rule."""
+    """Builds the SELECT tree for one rule."""
 
     def __init__(self, rule: Rule, program: DatalogProgram):
         self.rule = rule
         self.program = program
-        self.aliases: list[str] = []
-        self.var_column: dict[Variable, str] = {}
-        self.predicates: list[str] = []
+        self.froms: list[TableRef] = []
+        self.var_column: dict[Variable, Col] = {}
+        self.predicates: list[SqlPred] = []
         self._bind_body()
-
-    def _columns_of(self, relation: str) -> list[str]:
-        source = self.program.source_schema
-        target = self.program.target_schema
-        for schema in (source, target):
-            if schema is not None and relation in schema:
-                return list(schema.relation(relation).attribute_names)
-        if relation in self.program.intermediates:
-            return [f"c{i}" for i in range(self.program.intermediates[relation])]
-        raise QueryGenerationError(f"unknown relation {relation!r} in SQL translation")
 
     def _bind_body(self) -> None:
         for index, atom in enumerate(self.rule.body):
             alias = f"t{index}"
-            self.aliases.append(alias)
-            columns = self._columns_of(atom.relation)
+            self.froms.append(TableRef(atom.relation, alias))
+            columns = relation_columns(self.program, atom.relation)
             for position, term in enumerate(atom.terms):
-                reference = _column_ref(alias, columns, position)
+                reference = Col(alias, columns[position])
                 if isinstance(term, Variable):
                     existing = self.var_column.get(term)
                     if existing is None:
                         self.var_column[term] = reference
                     else:
-                        self.predicates.append(f"{reference} IS {existing}")
+                        self.predicates.append(NullSafeEq(reference, existing))
                 elif isinstance(term, Constant):
-                    self.predicates.append(f"{reference} = {sql_literal(term.value)}")
+                    self.predicates.append(
+                        Cmp("=", reference, Lit(term.value))
+                    )
                 elif isinstance(term, NullTerm):
-                    self.predicates.append(f"{reference} IS NULL")
+                    self.predicates.append(IsNull(reference))
                 else:  # pragma: no cover - Skolem terms never occur in bodies
                     raise QueryGenerationError(f"Skolem term in rule body: {term!r}")
 
-    def term_expression(self, term: Term) -> str:
-        """A SELECT expression computing one head term."""
+    def term_expression(self, term: Term) -> SqlExpr:
+        """The expression tree computing one head term."""
         if isinstance(term, Variable):
             try:
                 return self.var_column[term]
             except KeyError:
                 raise QueryGenerationError(f"unbound head variable {term!r}") from None
         if isinstance(term, Constant):
-            return sql_literal(term.value)
+            return Lit(term.value)
         if isinstance(term, NullTerm):
-            return "NULL"
+            return NullLit()
         if isinstance(term, SkolemTerm):
-            pieces = [sql_literal(f"{INVENTED_PREFIX}{term.functor}(")]
-            for i, arg in enumerate(term.args):
-                if i:
-                    pieces.append("','")
-                pieces.append(
-                    f"IFNULL(CAST({self.term_expression(arg)} AS TEXT), 'null')"
-                )
-            pieces.append("')'")
-            return " || ".join(pieces)
+            return skolem_encode(
+                term.functor, [self.term_expression(a) for a in term.args]
+            )
         raise QueryGenerationError(f"cannot translate term {term!r}")  # pragma: no cover
 
-    def _negation_predicate(self, atom: RelationalAtom) -> str:
-        columns = self._columns_of(atom.relation)
+    def _negation_predicate(self, atom: RelationalAtom) -> NotExists:
+        columns = relation_columns(self.program, atom.relation)
         alias = "n"
-        conditions = []
-        for position, term in enumerate(atom.terms):
-            reference = _column_ref(alias, columns, position)
-            conditions.append(f"{reference} IS {self.term_expression(term)}")
-        where = " AND ".join(conditions) if conditions else "1"
-        return (
-            f"NOT EXISTS (SELECT 1 FROM {quote_identifier(atom.relation)} {alias} "
-            f"WHERE {where})"
+        conditions = tuple(
+            NullSafeEq(Col(alias, columns[position]), self.term_expression(term))
+            for position, term in enumerate(atom.terms)
+        )
+        return NotExists(
+            Select(
+                items=(SelectItem(Lit(1)),),
+                froms=(TableRef(atom.relation, alias),),
+                where=conditions,
+            )
         )
 
-    def select_sql(self) -> str:
-        expressions = [self.term_expression(t) for t in self.rule.head.terms]
-        columns = self._columns_of(self.rule.head.relation)
-        select_list = ", ".join(
-            f"{expr} AS {quote_identifier(col)}"
-            for expr, col in zip(expressions, columns)
-        )
-        from_list = ", ".join(
-            f"{quote_identifier(atom.relation)} {alias}"
-            for atom, alias in zip(self.rule.body, self.aliases)
+    def select(self) -> Select:
+        columns = relation_columns(self.program, self.rule.head.relation)
+        items = tuple(
+            SelectItem(self.term_expression(term), column)
+            for term, column in zip(self.rule.head.terms, columns)
         )
         predicates = list(self.predicates)
         for var in self.rule.null_vars:
-            predicates.append(f"{self.var_column[var]} IS NULL")
+            predicates.append(IsNull(self.var_column[var]))
         for var in self.rule.nonnull_vars:
-            predicates.append(f"{self.var_column[var]} IS NOT NULL")
+            predicates.append(IsNull(self.var_column[var], negated=True))
         for equality in self.rule.equalities:
             predicates.append(
-                f"{self.term_expression(equality.left)} IS "
-                f"{self.term_expression(equality.right)}"
+                NullSafeEq(
+                    self.term_expression(equality.left),
+                    self.term_expression(equality.right),
+                )
             )
         for disequality in self.rule.disequalities:
             predicates.append(
-                f"{self.term_expression(disequality.left)} IS NOT "
-                f"{self.term_expression(disequality.right)}"
+                NullSafeNe(
+                    self.term_expression(disequality.left),
+                    self.term_expression(disequality.right),
+                )
             )
         for atom in self.rule.negated:
             predicates.append(self._negation_predicate(atom))
-        sql = f"SELECT DISTINCT {select_list} FROM {from_list}"
-        if predicates:
-            sql += " WHERE " + " AND ".join(predicates)
-        return sql
+        return Select(
+            items=items,
+            froms=tuple(self.froms),
+            where=tuple(predicates),
+            distinct=True,
+        )
 
 
-def rule_to_sql(rule: Rule, program: DatalogProgram) -> str:
-    """The ``INSERT ... SELECT`` statement for one rule."""
-    translator = _RuleTranslator(rule, program)
-    table = quote_identifier(rule.head_relation)
-    # EXCEPT keeps set semantics across the several rules feeding one target
-    # relation (SQL set operations treat NULLs as equal, like the engine).
-    return (
-        f"INSERT INTO {table} {translator.select_sql()} "
-        f"EXCEPT SELECT * FROM {table}"
-    )
+def rule_select(rule: Rule, program: DatalogProgram) -> Select:
+    """The SELECT tree computing one rule's derived tuples."""
+    return _RuleTranslator(rule, program).select()
 
 
-def intermediate_ddl(program: DatalogProgram) -> list[str]:
+def rule_insert(rule: Rule, program: DatalogProgram) -> InsertSelect:
+    """The ``INSERT ... SELECT ... EXCEPT`` tree for one rule.
+
+    The EXCEPT dedup keeps set semantics across the several rules feeding
+    one target relation (SQL set operations treat NULLs as equal, like the
+    engine).
+    """
+    return InsertSelect(rule.head_relation, rule_select(rule, program))
+
+
+def rule_to_sql(
+    rule: Rule, program: DatalogProgram, dialect: Dialect = SQLITE
+) -> str:
+    """The ``INSERT ... SELECT`` statement for one rule, rendered."""
+    return rule_insert(rule, program).render(dialect)
+
+
+def intermediate_tables(program: DatalogProgram) -> list[CreateTable]:
+    """``CREATE TABLE`` trees for the intermediate (tmp) relations."""
+    return [
+        CreateTable(name, tuple((f"c{i}", "TEXT") for i in range(arity)))
+        for name, arity in program.intermediates.items()
+    ]
+
+
+def intermediate_ddl(
+    program: DatalogProgram, dialect: Dialect = SQLITE
+) -> list[str]:
     """``CREATE TABLE`` statements for the intermediate (tmp) relations."""
-    statements = []
-    for name, arity in program.intermediates.items():
-        columns = ", ".join(f"{quote_identifier(f'c{i}')} TEXT" for i in range(arity))
-        statements.append(f"CREATE TABLE {quote_identifier(name)} ({columns})")
-    return statements
+    return [table.render(dialect) for table in intermediate_tables(program)]
 
 
-def program_to_sql(program: DatalogProgram) -> list[str]:
+def program_to_sql(program: DatalogProgram, dialect: Dialect = SQLITE) -> list[str]:
     """All statements, in evaluation order: tmp DDL, then one INSERT per rule.
 
-    Rules are ordered by stratification so intermediate relations are filled
-    before the rules that negate them, and duplicate target rows across
-    different rules are tolerated via plain multi-statement inserts.
+    Rendering of :func:`repro.sqlgen.compiler.compile_program`; rules are
+    ordered by stratification so intermediate relations are filled before
+    the rules that negate them.
     """
-    statements = intermediate_ddl(program)
-    order = {name: i for i, name in enumerate(stratify(program))}
-    for rule in sorted(program.rules, key=lambda r: order[r.head_relation]):
-        statements.append(rule_to_sql(rule, program))
-    return statements
+    from .compiler import compile_program
+
+    return compile_program(program).sql(dialect)

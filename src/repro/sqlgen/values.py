@@ -1,12 +1,21 @@
 """Encoding of invented values (labeled nulls) as SQL strings.
 
 SQL has no labeled nulls, so an invented value like ``f_person(c86)`` is
-stored as the string ``"\\x02f_person(c86)"`` — a control-character prefix
-followed by the functor application with arguments separated by commas
-(nested invented arguments keep their prefix).  :func:`decode_value` parses
-the encoding back into :class:`repro.model.values.LabeledNull`, so results
-read back from SQLite compare equal to the Datalog engine's output on
-string-valued databases.
+stored as the string ``"\\x02f_person(3:c86)"`` — a control-character prefix,
+the functor, and a parenthesized argument list.  Each argument is either the
+bare token ``null`` (the unlabeled null) or *length-prefixed*:
+``<length>:<text>``, where ``text`` is ``str(value)`` for constants and the
+full encoding (prefix included) for nested invented values.
+
+The length prefix makes the encoding injective.  A bare-separator scheme
+would merge distinct invented values — ``f("x,y")`` and ``f("x","y")`` both
+become ``"\\x02f(x,y)"`` — silently identifying labeled nulls the chase
+keeps apart.  With lengths, they encode as ``"\\x02f(3:x,y)"`` and
+``"\\x02f(1:x,1:y)"``.  The SQL expressions emitted by
+:func:`repro.sqlgen.ast.skolem_encode` compute exactly this encoding at
+query time; :func:`decode_value` parses it back into
+:class:`repro.model.values.LabeledNull`, so results read back from SQLite
+compare equal to the Datalog engine's output on string-valued databases.
 """
 
 from __future__ import annotations
@@ -35,10 +44,11 @@ def _encode_argument(value: Any) -> str:
     if is_null(value):
         return "null"
     if is_labeled_null(value):
-        encoded = encode_value(value)
-        assert isinstance(encoded, str)
-        return encoded
-    return str(value)
+        text = encode_value(value)
+        assert isinstance(text, str)
+    else:
+        text = str(value)
+    return f"{len(text)}:{text}"
 
 
 def decode_value(value: Any) -> Any:
@@ -56,34 +66,52 @@ def decode_value(value: Any) -> Any:
 def _parse_invented(text: str, start: int) -> tuple[LabeledNull, int]:
     if text[start] != INVENTED_PREFIX:
         raise EvaluationError(f"not an invented value at {start} in {text!r}")
-    open_paren = text.index("(", start)
+    try:
+        open_paren = text.index("(", start)
+    except ValueError:
+        raise EvaluationError(f"unbalanced invented value {text!r}") from None
     functor = text[start + 1 : open_paren]
     args: list[Any] = []
     i = open_paren + 1
     if i < len(text) and text[i] == ")":
         return LabeledNull(functor, ()), i + 1
-    current_start = i
-    depth = 0
-    while i < len(text):
-        char = text[i]
-        if char == "(":
-            depth += 1
-        elif char == ")":
-            if depth == 0:
-                args.append(_decode_argument(text[current_start:i]))
-                return LabeledNull(functor, tuple(args)), i + 1
-            depth -= 1
-        elif char == "," and depth == 0:
-            args.append(_decode_argument(text[current_start:i]))
-            current_start = i + 1
+    while True:
+        argument, i = _parse_argument(text, i)
+        args.append(argument)
+        if i >= len(text):
+            raise EvaluationError(f"unbalanced invented value {text!r}")
+        if text[i] == ")":
+            return LabeledNull(functor, tuple(args)), i + 1
+        if text[i] != ",":
+            raise EvaluationError(
+                f"malformed invented value {text!r}: expected ',' or ')' at {i}"
+            )
         i += 1
-    raise EvaluationError(f"unbalanced invented value {text!r}")
 
 
-def _decode_argument(piece: str) -> Any:
-    if piece == "null":
-        return NULL
+def _parse_argument(text: str, start: int) -> tuple[Any, int]:
+    if text.startswith("null", start):
+        end = start + 4
+        if end >= len(text) or text[end] in ",)":
+            return NULL, end
+    digits_end = start
+    while digits_end < len(text) and text[digits_end].isdigit():
+        digits_end += 1
+    if digits_end == start or digits_end >= len(text) or text[digits_end] != ":":
+        raise EvaluationError(
+            f"malformed invented-value argument at {start} in {text!r}"
+        )
+    length = int(text[start:digits_end])
+    piece_start = digits_end + 1
+    piece_end = piece_start + length
+    if piece_end > len(text):
+        raise EvaluationError(
+            f"invented-value argument overruns the encoding at {start} in {text!r}"
+        )
+    piece = text[piece_start:piece_end]
     if piece.startswith(INVENTED_PREFIX):
-        term, _end = _parse_invented(piece, 0)
-        return term
-    return piece
+        term, parsed_end = _parse_invented(piece, 0)
+        if parsed_end != len(piece):
+            raise EvaluationError(f"trailing data in nested invented value {piece!r}")
+        return term, piece_end
+    return piece, piece_end

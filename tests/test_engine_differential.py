@@ -26,7 +26,7 @@ from repro.model.diff import diff_up_to_invented
 from repro.scenarios import bundled_problems
 from repro.scenarios.cars import figure1_problem, figure12_problem, figure14_problem
 from repro.scenarios.synthetic import cars2_instance, cars3_instance, cars4_instance
-from repro.sqlgen.executor import run_on_sqlite
+from repro.sqlgen.executor import duckdb_available, run_on_duckdb, run_on_sqlite
 
 
 def _scenario_names():
@@ -52,6 +52,14 @@ def _assert_agreement(program, source, context):
     assert sqlite_diff.empty, (
         f"SQLite disagrees with reference on {context}:\n" + sqlite_diff.to_text()
     )
+
+    if duckdb_available():  # optional dependency: checked when installed
+        duckdb_target = run_on_duckdb(program, source)
+        duckdb_diff = diff_up_to_invented(reference.target, duckdb_target)
+        assert duckdb_diff.empty, (
+            f"DuckDB disagrees with reference on {context}:\n"
+            + duckdb_diff.to_text()
+        )
     return reference
 
 

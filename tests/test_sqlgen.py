@@ -109,7 +109,9 @@ class TestTranslation:
         problem = cars.figure10_problem()
         program = MappingSystem(problem).transformation
         statements = "\n".join(program_to_sql(program))
-        assert "IFNULL(CAST(" in statements  # functor argument expression
+        # Length-prefixed functor argument expression (see ast.skolem_argument).
+        assert "CASE WHEN" in statements
+        assert "LENGTH(CAST(" in statements
 
 
 class TestExecutorParity:
