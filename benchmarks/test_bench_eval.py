@@ -1,0 +1,72 @@
+"""Benchmarks for the eval-matrix runner: writes ``BENCH_eval.json``.
+
+One sweep of generated scenarios (seeds 0:12, the SQLite/duckdb leg gated
+off so the timing set is identical on every machine) through the full
+verification stack, recording per-engine wall-time totals plus the verdict
+summary.  The totals land under the standard timing keys (``reference``,
+``batch``, ``sqlite``, ``seconds``) so ``repro bench-diff`` picks them up
+and CI can gate on eval-runner regressions like any other benchmark.  The
+deterministic verdict counts are asserted here too: a perf run that also
+changed semantics should fail loudly, not just drift.  Run with::
+
+    pytest benchmarks/test_bench_eval.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import stamp_metadata
+from repro.bench.evalmatrix import run_eval
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_eval.json"
+
+#: Enough seeds that the per-engine totals clear the 1 ms bench-diff noise
+#: floor, few enough that the sweep stays a couple of seconds.
+SEEDS = range(12)
+
+_reports: dict[str, dict] = {}
+
+
+def test_eval_sweep(benchmark):
+    """Sweep seeds 0:12 through generation, three engines and all certifiers."""
+    matrix = benchmark.pedantic(
+        lambda: run_eval(SEEDS, duckdb=False), rounds=1, iterations=1
+    )
+    summary = matrix.summary()
+    assert summary["ok"] == len(SEEDS)
+    assert summary["agreeing"] == summary["evaluated"] == len(SEEDS)
+    assert summary["refuted"] == 0
+    assert matrix.gate() == []
+
+    engines: dict[str, float] = {}
+    stages: dict[str, float] = {}
+    for row in matrix.rows:
+        for leg in ("reference", "batch", "sqlite"):
+            engines[leg] = engines.get(leg, 0.0) + row.timings[leg]
+        for stage in ("compile", "certify", "sqlcheck", "cost", "flow"):
+            stages[stage] = stages.get(stage, 0.0) + row.timings[stage]
+    benchmark.extra_info["summary"] = summary
+    _reports["sweep-0-12"] = {
+        "scenarios": summary["scenarios"],
+        "agreeing": summary["agreeing"],
+        "certify": summary["certify"],
+        "sqlcheck": summary["sqlcheck"],
+        "engines": {leg: round(total, 6) for leg, total in engines.items()},
+        "stages": {stage: round(total, 6) for stage, total in stages.items()},
+        "seconds": summary["seconds"],
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_report():
+    """Serialize every collected report once the module's benchmarks ran."""
+    yield
+    if _reports:
+        payload = {name: _reports[name] for name in sorted(_reports)}
+        stamped = stamp_metadata(payload)
+        OUTPUT_PATH.write_text(json.dumps(stamped, indent=2) + "\n")

@@ -16,12 +16,24 @@ from .diff import (
     load_bench_file,
     stamp_metadata,
 )
+from .evalmatrix import (
+    EvalMatrix,
+    EvalRow,
+    eval_scenario,
+    parse_seed_range,
+    run_eval,
+)
 
 __all__ = [
     "Comparison",
     "DiffReport",
+    "EvalMatrix",
+    "EvalRow",
     "diff_benchmarks",
+    "eval_scenario",
     "extract_timings",
     "load_bench_file",
+    "parse_seed_range",
+    "run_eval",
     "stamp_metadata",
 ]

@@ -46,7 +46,15 @@ Usage (after installation, via ``python -m repro``):
   and print the paper-vs-measured verdict table;
 * ``python -m repro bench-diff baseline.json current.json`` — the
   perf-regression gate: compare two benchmark report files scenario by
-  scenario and exit 1 when any wall time regressed past ``--threshold``.
+  scenario and exit 1 when any wall time regressed past ``--threshold``;
+* ``python -m repro eval --seeds 0:100`` — sweep generated scenarios
+  (``repro.scenarios.generator``) through the full verification stack and
+  print the results matrix: per-seed engine agreement (reference vs batch
+  vs SQLite, DuckDB when importable), certify / sqlcheck verdict counts,
+  cost boundedness and flow health; ``--out`` / ``--jsonl-out`` persist the
+  matrix with provenance, ``--seed N --replay`` reprints one scenario's DSL
+  and instance for offline debugging, and ``--fail-on
+  {disagreement,error,never}`` sets the exit policy (the CI gate).
 
 ``compile``, ``run``, ``explain`` and ``query`` all accept the telemetry
 flags ``--trace`` (stage-by-stage run report), ``--profile`` (per-stage
@@ -803,6 +811,95 @@ def cmd_bench_diff(args) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_inclusive_range(text: str, flag: str) -> tuple[int, int]:
+    """``"2:4"`` → ``(2, 4)`` (inclusive, like the generator config ranges)."""
+    lo, sep, hi = text.partition(":")
+    try:
+        if not sep:
+            value = int(text)
+            return value, value
+        return int(lo), int(hi)
+    except ValueError:
+        raise SystemExit(f"error: {flag} expects LO:HI, got {text!r}") from None
+
+
+def cmd_eval(args) -> int:
+    """Sweep generated scenarios through the verification stack.
+
+    Exit status: 0 when the matrix passes the ``--fail-on`` gate, 1 when it
+    does not, 2 on unusable arguments.
+    """
+    from dataclasses import replace
+
+    from .bench.evalmatrix import EvalMatrix, eval_scenario, parse_seed_range, run_eval
+    from .scenarios.generator import DEFAULT, generate_scenario
+    from .sqlgen.executor import duckdb_available
+
+    overrides = {}
+    if args.cyclic:
+        overrides["weakly_acyclic"] = False
+    if args.coverage is not None:
+        overrides["coverage"] = args.coverage
+    if args.rows is not None:
+        overrides["rows"] = _parse_inclusive_range(args.rows, "--rows")
+    if args.source_relations is not None:
+        overrides["source_relations"] = _parse_inclusive_range(
+            args.source_relations, "--source-relations"
+        )
+    if args.target_relations is not None:
+        overrides["target_relations"] = _parse_inclusive_range(
+            args.target_relations, "--target-relations"
+        )
+    try:
+        config = replace(DEFAULT, **overrides)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.seed is not None:
+        seeds = [args.seed]
+    else:
+        try:
+            seeds = parse_seed_range(args.seeds)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    duckdb = False if args.no_duckdb else None
+
+    if args.replay:
+        rows = []
+        for seed in seeds:
+            scenario = generate_scenario(seed, config)
+            print(f"# scenario {scenario.name} (seed {seed})")
+            print(scenario.dsl)
+            print("# source instance")
+            print(scenario.instance_text)
+            row = eval_scenario(seed, config, duckdb=duckdb)
+            print("# eval row")
+            print(json.dumps(row.to_dict(), indent=2, sort_keys=True))
+            rows.append(row)
+        matrix = EvalMatrix(
+            rows=rows,
+            config=config,
+            duckdb=duckdb if duckdb is not None else duckdb_available(),
+        )
+    else:
+        matrix = run_eval(seeds, config, duckdb=duckdb)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(matrix.to_json())
+    if args.jsonl_out:
+        with open(args.jsonl_out, "w") as handle:
+            handle.write(matrix.to_jsonl())
+    if args.json:
+        print(json.dumps(matrix.to_dict(), indent=2, sort_keys=True))
+    elif not args.replay:
+        print(matrix.render())
+    failures = matrix.gate(args.fail_on)
+    for failure in failures:
+        print(f"eval gate: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def cmd_match(args) -> int:
     with open(args.source) as handle:
         source = parse_schema(handle.read(), name="source")
@@ -1194,6 +1291,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the comparison report as JSON",
     )
     bench_parser.set_defaults(func=cmd_bench_diff)
+
+    eval_parser = sub.add_parser(
+        "eval",
+        help="sweep generated scenarios through the full verification stack",
+    )
+    eval_parser.add_argument(
+        "--seeds", default="0:20", metavar="A:B",
+        help="seed range (half-open, e.g. 0:100) or comma list (default: 0:20)",
+    )
+    eval_parser.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="evaluate a single seed (overrides --seeds)",
+    )
+    eval_parser.add_argument(
+        "--replay", action="store_true",
+        help="print each scenario's DSL, source instance and eval row "
+             "(seed-exact reproduction of a failing matrix entry)",
+    )
+    eval_parser.add_argument(
+        "--cyclic", action="store_true",
+        help="generate cyclic source schemas (SCH010 exercise; rows become "
+             "lint-error instead of running the pipeline)",
+    )
+    eval_parser.add_argument(
+        "--coverage", type=float, default=None, metavar="FRACTION",
+        help="correspondence coverage fraction (default: generator default)",
+    )
+    eval_parser.add_argument(
+        "--rows", default=None, metavar="LO:HI",
+        help="rows per source relation, inclusive (default: generator default)",
+    )
+    eval_parser.add_argument(
+        "--source-relations", default=None, metavar="LO:HI",
+        help="source relation count, inclusive",
+    )
+    eval_parser.add_argument(
+        "--target-relations", default=None, metavar="LO:HI",
+        help="target relation count, inclusive",
+    )
+    eval_parser.add_argument(
+        "--no-duckdb", action="store_true",
+        help="skip the DuckDB differential leg even when duckdb is importable",
+    )
+    eval_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the matrix as provenance-stamped JSON",
+    )
+    eval_parser.add_argument(
+        "--jsonl-out", default=None, metavar="PATH",
+        help="write the matrix as JSONL, one row per line",
+    )
+    eval_parser.add_argument(
+        "--json", action="store_true",
+        help="print the matrix as JSON instead of the table",
+    )
+    eval_parser.add_argument(
+        "--fail-on", choices=("disagreement", "error", "never"),
+        default="disagreement",
+        help="exit 1 on engine disagreement or definite negative verdicts "
+             "(default), additionally on incomplete rows (error), or never",
+    )
+    eval_parser.set_defaults(func=cmd_eval)
 
     match_parser = sub.add_parser("match", help="suggest correspondences")
     match_parser.add_argument("source", help="source schema file (DSL)")

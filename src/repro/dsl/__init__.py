@@ -16,7 +16,9 @@ from .parser import parse_instance, parse_problem, parse_schema
 from .report import explain, render_conflict_report, render_generation_report
 from .renderer import (
     FunctorAbbreviator,
+    render_instance,
     render_logical_mapping,
+    render_problem,
     render_program,
     render_rule,
     render_schema,
@@ -41,7 +43,9 @@ __all__ = [
     "parse_instance",
     "parse_problem",
     "parse_schema",
+    "render_instance",
     "render_logical_mapping",
+    "render_problem",
     "render_program",
     "render_rule",
     "render_schema",

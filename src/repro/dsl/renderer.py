@@ -55,6 +55,61 @@ def render_schema(schema: Schema) -> str:
     return "\n".join(lines)
 
 
+def render_problem(problem) -> str:
+    """Render a whole mapping problem as DSL text.
+
+    The output round-trips: :func:`repro.dsl.parser.parse_problem` on the
+    rendered text reproduces the schemas and correspondences (source spans
+    aside).  This is how generated scenarios are persisted for replay.
+    """
+    lines = [f"source schema {problem.source_schema.name}:"]
+    lines += [f"  {line}" for line in render_schema(problem.source_schema).splitlines()]
+    lines.append("")
+    lines.append(f"target schema {problem.target_schema.name}:")
+    lines += [f"  {line}" for line in render_schema(problem.target_schema).splitlines()]
+    lines.append("")
+    lines.append("correspondences:")
+    for item in problem.correspondences:
+        text = f"  {item.source!r} -> {item.target!r}"
+        if item.filters:
+            text += " where " + " and ".join(repr(f) for f in item.filters)
+        if item.label:
+            text += f" [{item.label}]"
+        lines.append(text)
+    return "\n".join(lines) + "\n"
+
+
+def _render_value(value: object) -> str:
+    from ..model.values import is_null
+
+    if is_null(value):
+        return "null"
+    text = str(value)
+    if "#" in text or " " in text:
+        return f"'{text}'"
+    return text
+
+
+def render_instance(instance) -> str:
+    """Render an instance as ``Relation: (v1, v2), ...`` DSL lines.
+
+    The counterpart of :func:`repro.dsl.parser.parse_instance` — unlike
+    ``Instance.to_text()``, which renders human-oriented tables, this output
+    parses back.  Empty relations are omitted, matching the parser's view
+    that unmentioned relations are empty.
+    """
+    lines = []
+    for relation in instance.schema:
+        rows = instance.relation(relation.name).rows
+        if not rows:
+            continue
+        rendered = ", ".join(
+            "(" + ", ".join(_render_value(v) for v in row) + ")" for row in rows
+        )
+        lines.append(f"{relation.name}: {rendered}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 def _display_renaming(mapping: LogicalMapping) -> dict[Variable, Term]:
     """Disambiguate variables that share a display name.
 

@@ -1,6 +1,12 @@
-"""Every scenario of the paper plus synthetic scaled workloads."""
+"""Every scenario of the paper plus synthetic scaled workloads.
 
-from . import appendix_a, appendix_b, appendix_c, cars, composite, publications, synthetic
+Beyond the hand-written suites, :mod:`repro.scenarios.generator` produces
+seeded random scenarios; :func:`generated_problems` is the convenience
+bridge that mirrors :func:`bundled_problems` for a seed range, so "all
+scenarios" test suites can sweep both with one shape of code.
+"""
+
+from . import appendix_a, appendix_b, appendix_c, cars, composite, generator, publications, synthetic
 from .cars import all_problems
 
 __all__ = [
@@ -11,6 +17,8 @@ __all__ = [
     "bundled_problems",
     "cars",
     "composite",
+    "generated_problems",
+    "generator",
     "publications",
     "synthetic",
 ]
@@ -33,3 +41,18 @@ def bundled_problems():
     problems["composite-skolem"] = composite.composite_skolem_problem()
     problems["publications"] = publications.digest_problem()
     return problems
+
+
+def generated_problems(seeds=range(8), config=None):
+    """Generated :class:`~repro.core.pipeline.MappingProblem` objects by name.
+
+    The counterpart of :func:`bundled_problems` for the seeded generator:
+    ``{"gen-0": problem, ...}`` for the given seeds, deterministic per
+    ``(seed, config)``.  Use :func:`generator.generate_scenario` directly
+    when the paired source instance or DSL text is needed too.
+    """
+    from .generator import DEFAULT, generate_scenario
+
+    config = DEFAULT if config is None else config
+    scenarios = (generate_scenario(seed, config) for seed in seeds)
+    return {scenario.name: scenario.problem for scenario in scenarios}

@@ -1,0 +1,42 @@
+"""Seeded scenario generator: randomized mapping problems with instances.
+
+The bundled scenarios cover every figure of the paper; this package covers
+the *space* the paper's algorithms quantify over.  :func:`generate_scenario`
+maps ``(seed, config)`` deterministically to a :class:`GeneratedScenario` —
+a random source/target schema pair (composite keys, foreign-key chains that
+are weakly acyclic by construction, nullable/mandatory attribute patterns),
+a correspondence set of tunable coverage in the paper's anchored style
+(including figure-1's two-sources-one-target pattern and referenced-attribute
+paths), the equivalent DSL problem text, and a paired random *valid* source
+instance (key-unique, foreign-key-closed).
+
+Determinism is a contract, not an accident: the same seed and config produce
+byte-identical DSL text, plans and evaluation results in any process,
+regardless of ``PYTHONHASHSEED`` (asserted by the test suite).  Every
+scenario is therefore replayable from its seed alone — the property the
+results-matrix eval runner (:mod:`repro.bench.evalmatrix`) builds on.
+
+``weakly_acyclic=False`` opts into *cyclic mode*: the source schema gets a
+reciprocal foreign-key pair (a special cycle), exercising the ``SCH010``
+schema check, and :func:`generate_unbounded_program` builds the matching
+recursive-Skolem Datalog program that trips the certifier's ``TRM001``
+termination precondition.
+"""
+
+from .config import GeneratorConfig, SMALL, DEFAULT
+from .instances import RandomChooser, build_instance, generate_instance
+from .problems import GeneratedScenario, generate_scenario, generate_unbounded_program
+from .schemas import generate_schema
+
+__all__ = [
+    "DEFAULT",
+    "GeneratedScenario",
+    "GeneratorConfig",
+    "RandomChooser",
+    "SMALL",
+    "build_instance",
+    "generate_instance",
+    "generate_scenario",
+    "generate_schema",
+    "generate_unbounded_program",
+]

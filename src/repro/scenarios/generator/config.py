@@ -1,0 +1,94 @@
+"""Tunable knobs for the scenario generator.
+
+Every knob is a plain value or an inclusive ``(lo, hi)`` range, so a config
+is hashable, comparable and trivially serializable — the eval matrix records
+it next to the seed, which together fully determine a scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Shape parameters for :func:`repro.scenarios.generator.generate_scenario`.
+
+    Ranges are inclusive.  Fractions are probabilities in ``[0, 1]`` drawn
+    independently per opportunity (per attribute, per relation, ...).
+    """
+
+    #: how many relations each side gets
+    source_relations: tuple[int, int] = (2, 4)
+    target_relations: tuple[int, int] = (1, 3)
+    #: non-key, non-foreign-key attributes per relation
+    payload_attributes: tuple[int, int] = (1, 3)
+    #: chance a relation nothing references gets a two-attribute key
+    #: (referenced relations keep simple keys — the paper restricts foreign
+    #: keys to reference simple keys only)
+    composite_key_fraction: float = 0.3
+    #: chance each foreign-key slot of a relation is filled with a reference
+    #: to an earlier relation (earlier-only keeps the schema a DAG, hence
+    #: weakly acyclic by construction)
+    fk_fraction: float = 0.5
+    #: chance a payload attribute is nullable
+    nullable_fraction: float = 0.4
+    #: chance a foreign-key attribute is nullable
+    nullable_fk_fraction: float = 0.3
+    #: chance each target payload attribute gets a covering correspondence
+    coverage: float = 0.8
+    #: chance a payload correspondence reads through a source foreign key
+    #: (a referenced-attribute path ``S.g > R.a``, paper section 4)
+    referenced_attribute_fraction: float = 0.3
+    #: chance a target relation additionally receives its key from a second
+    #: source relation that references the anchor (figure 1's ``O3.person ->
+    #: P2.person`` pattern — the soft-conflict case the novel algorithm
+    #: resolves and the basic baseline does not)
+    secondary_anchor_fraction: float = 0.3
+    #: when False, the source schema gets a reciprocal foreign-key pair — a
+    #: special cycle that trips the SCH010 weak-acyclicity check
+    weakly_acyclic: bool = True
+    #: rows per source relation in generated instances
+    rows: tuple[int, int] = (2, 6)
+    #: chance a nullable attribute of a generated instance row is null
+    null_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        for name in ("source_relations", "target_relations", "payload_attributes", "rows"):
+            lo, hi = getattr(self, name)
+            if not (isinstance(lo, int) and isinstance(hi, int) and 1 <= lo <= hi):
+                raise ValueError(f"{name} must be an inclusive range 1 <= lo <= hi, got ({lo}, {hi})")
+        for name in (
+            "composite_key_fraction",
+            "fk_fraction",
+            "nullable_fraction",
+            "nullable_fk_fraction",
+            "coverage",
+            "referenced_attribute_fraction",
+            "secondary_anchor_fraction",
+            "null_fraction",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    def to_dict(self) -> dict:
+        """A JSON-ready mapping (ranges become two-element lists)."""
+        out: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+
+#: the default shape: a handful of relations per side, mixed constraints
+DEFAULT = GeneratorConfig()
+
+#: a smaller shape for property-based tests, where example count matters
+#: more than per-example size
+SMALL = GeneratorConfig(
+    source_relations=(2, 3),
+    target_relations=(1, 2),
+    payload_attributes=(1, 2),
+    rows=(1, 3),
+)

@@ -1,0 +1,107 @@
+"""Random schemas that are weakly acyclic by construction.
+
+Foreign keys only ever reference relations with a *smaller* index, so the
+dependency graph is a DAG and weak acyclicity (paper section 3.1) holds
+without a search.  Relations some foreign key references are forced to
+simple keys — the paper restricts foreign keys to reference simple keys
+only — and composite keys are drawn for the remaining relations.
+
+Cyclic mode (``weakly_acyclic=False``) appends a reciprocal foreign-key
+pair between the first two relations on fresh non-key attributes.  Each of
+the two foreign keys emits a special edge into the other's non-key position
+in the dependency graph, so the pair forms a special cycle and
+:meth:`Schema.validate` raises ``SCH010``; the schema object itself is
+still built (unvalidated) so lint and rendering can observe it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...model.builder import SchemaBuilder
+from ...model.schema import Schema
+from .config import DEFAULT, GeneratorConfig
+
+
+def generate_schema(
+    rng: random.Random,
+    name: str,
+    prefix: str,
+    relations_range: tuple[int, int],
+    config: GeneratorConfig = DEFAULT,
+    weakly_acyclic: bool = True,
+    simple_key_first: bool = False,
+) -> Schema:
+    """One random schema; relations are named ``{prefix}0 .. {prefix}{n-1}``.
+
+    ``simple_key_first`` forces relation 0 to a simple key — the source side
+    uses it so every target relation has at least one anchor candidate whose
+    key fits (see :mod:`.problems`).
+    """
+    count = rng.randint(*relations_range)
+    names = [f"{prefix}{i}" for i in range(count)]
+
+    # Decide foreign keys first: referenced relations must keep simple keys.
+    # Targets are chosen so that from any relation there is at most ONE
+    # foreign-key path to any other (pairwise-disjoint reachability sets):
+    # a tableau whose chase reaches the same relation twice activates the
+    # same correspondences against both occurrences, which Algorithm 4
+    # rejects as non-functional — a legitimate paper outcome, but not the
+    # shape this generator aims for.
+    fk_targets: dict[int, list[int]] = {i: [] for i in range(count)}
+    closures: dict[int, frozenset[int]] = {}
+    for i in range(count):
+        taken: set[int] = set()
+        for _slot in range(min(i, 2)):
+            if rng.random() < config.fk_fraction:
+                candidates = [j for j in range(i) if not (closures[j] & taken)]
+                if not candidates:
+                    continue
+                j = candidates[rng.randrange(len(candidates))]
+                fk_targets[i].append(j)
+                taken |= closures[j]
+        closures[i] = frozenset({i}) | frozenset(taken)
+    referenced = {j for targets in fk_targets.values() for j in targets}
+
+    builder = SchemaBuilder(name)
+    fk_specs: list[tuple[str, str, str, bool]] = []
+    for i, rel_name in enumerate(names):
+        composite = (
+            i not in referenced
+            and not (simple_key_first and i == 0)
+            # the reciprocal pair of cyclic mode references relations 0 and 1
+            and not (not weakly_acyclic and i < 2)
+            and rng.random() < config.composite_key_fraction
+        )
+        key_attrs = ["k0", "k1"] if composite else ["k"]
+        attrs: list[str] = list(key_attrs)
+        for p in range(rng.randint(*config.payload_attributes)):
+            nullable = rng.random() < config.nullable_fraction
+            attrs.append(f"a{p}?" if nullable else f"a{p}")
+        for slot, j in enumerate(fk_targets[i]):
+            nullable = rng.random() < config.nullable_fk_fraction
+            fk_attr = f"r{slot}"
+            attrs.append(f"{fk_attr}?" if nullable else fk_attr)
+            fk_specs.append((rel_name, fk_attr, names[j], nullable))
+        builder.relation(rel_name, *attrs, key=key_attrs)
+    for rel_name, attr, target, _nullable in fk_specs:
+        builder.foreign_key(rel_name, attr, target)
+
+    if weakly_acyclic:
+        return builder.build()
+
+    # Reciprocal foreign keys: a special cycle through the two cyc attributes.
+    if count < 2:
+        raise ValueError("cyclic mode needs at least two relations")
+    rebuilt = SchemaBuilder(name)
+    schema = builder.build(validate=False)
+    for i, rel_name in enumerate(names):
+        attrs = list(schema.relation(rel_name).attributes)
+        if i < 2:
+            attrs.append("cyc?" if rng.random() < 0.5 else "cyc")
+        rebuilt.relation(rel_name, *attrs, key=schema.relation(rel_name).key)
+    for fk in schema.foreign_keys:
+        rebuilt.foreign_key(fk.relation, fk.attribute, fk.referenced)
+    rebuilt.foreign_key(names[0], "cyc", names[1])
+    rebuilt.foreign_key(names[1], "cyc", names[0])
+    return rebuilt.build(validate=False)

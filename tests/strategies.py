@@ -1,0 +1,126 @@
+"""Shared hypothesis strategies backed by the scenario generator.
+
+One valid-instance builder for every property-based suite: the generator's
+:func:`~repro.scenarios.generator.build_instance` does the two-phase
+construction (keys first, then foreign-key-closed rows), and the
+:class:`DrawChooser` here routes its decisions through a hypothesis
+``data.draw`` so shrinking works.  The fixed fuzz schema pool and the
+correspondence-pair strategy that ``tests/test_fuzz_pipeline.py`` always
+used live here too, so the fuzz and soundness suites share one vocabulary
+instead of per-file copies.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.pipeline import MappingProblem
+from repro.model.builder import SchemaBuilder
+from repro.model.instance import Instance
+from repro.model.schema import Schema
+from repro.scenarios.generator import SMALL, build_instance, generate_scenario
+from repro.scenarios.generator.instances import PAYLOAD_POOL
+
+
+class DrawChooser:
+    """:func:`build_instance` chooser backed by a hypothesis ``data.draw``.
+
+    Implements the same four-method interface as
+    :class:`~repro.scenarios.generator.RandomChooser`, so the construction
+    logic is written once and both the seeded generator and the
+    property-based tests get valid-by-construction instances from it.
+    """
+
+    def __init__(self, draw):
+        self._draw = draw
+
+    def size(self, lo: int, hi: int) -> int:
+        return self._draw(st.integers(lo, hi))
+
+    def index(self, n: int) -> int:
+        return self._draw(st.integers(0, n - 1))
+
+    def flag(self, probability: float) -> bool:
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self._draw(st.booleans())
+
+    def value(self, relation: str, attribute: str, row: int) -> str:
+        return self._draw(
+            st.sampled_from(PAYLOAD_POOL + (f"{relation}.{attribute}.{row}",))
+        )
+
+
+def draw_valid_instance(
+    draw,
+    schema: Schema,
+    rows: tuple[int, int] = (0, 3),
+    null_fraction: float = 0.5,
+) -> Instance:
+    """A hypothesis-drawn instance: unique keys, resolved foreign keys."""
+    return build_instance(
+        schema, DrawChooser(draw), rows=rows, null_fraction=null_fraction
+    )
+
+
+def fuzz_source_schema() -> Schema:
+    """The fixed source pool the pipeline fuzzers sample correspondences from."""
+    return (
+        SchemaBuilder("fuzz-src")
+        .relation("S1", "k", "a", "b?")
+        .relation("S2", "k", "c")
+        .relation("S3", "k", "ref?", "d")
+        .foreign_key("S3", "ref", "S1")
+        .build()
+    )
+
+
+def fuzz_target_schema() -> Schema:
+    return (
+        SchemaBuilder("fuzz-tgt")
+        .relation("T1", "k", "x?", "y")
+        .relation("T2", "k", "z?")
+        .build()
+    )
+
+
+FUZZ_SOURCE_ATTRS = [
+    "S1.k", "S1.a", "S1.b", "S2.k", "S2.c", "S3.k", "S3.d",
+    "S3.ref > S1.a", "S3.ref > S1.b",
+]
+FUZZ_TARGET_ATTRS = ["T1.k", "T1.x", "T1.y", "T2.k", "T2.z"]
+
+
+@st.composite
+def fuzz_problems(draw) -> MappingProblem:
+    """Random correspondence sets over the fixed fuzz schema pool."""
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(FUZZ_SOURCE_ATTRS),
+                st.sampled_from(FUZZ_TARGET_ATTRS),
+            ),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        )
+    )
+    problem = MappingProblem(fuzz_source_schema(), fuzz_target_schema(), name="fuzz")
+    for source, target in pairs:
+        problem.add_correspondence(source, target)
+    return problem
+
+
+@st.composite
+def fuzz_instances(draw) -> Instance:
+    """Valid instances of the fuzz source schema (relations may be empty)."""
+    return draw_valid_instance(draw, fuzz_source_schema(), rows=(0, 4))
+
+
+#: Whole generated scenarios over the SMALL preset — random schemas *and*
+#: random correspondences, complementing the fixed-pool fuzzers above.
+generated_scenarios = st.builds(
+    generate_scenario, st.integers(0, 499), st.just(SMALL)
+)

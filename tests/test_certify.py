@@ -195,6 +195,20 @@ class TestBundledScenariosProved:
         assert report.diagnostics().diagnostics == []
 
 
+class TestGeneratedScenarios:
+    """Seeded weakly acyclic scenarios certify with no refutations."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_scenario_certifies_clean(self, seed):
+        from repro.scenarios.generator import generate_scenario
+
+        scenario = generate_scenario(seed)
+        report = MappingSystem(scenario.problem).certify()
+        assert not report.refuted, report.render()
+        termination = report.of_kind("termination")
+        assert [v.verdict for v in termination] == [PROVED]
+
+
 # --- refutations -----------------------------------------------------------
 
 

@@ -12,12 +12,11 @@ Two directions, matching the certifier's two definite verdicts:
   before reporting — the test closes the loop from the outside, through the
   public API only.)
 
-The instance generator mirrors ``validate_instance``'s constraint kinds:
-keys are unique by construction, foreign keys reference existing rows (or
-draw null when the attribute is nullable), nullable attributes may draw
-null.  Rows whose key collides with an earlier row are dropped rather than
-repaired, so every generated instance is valid by construction — asserted,
-not assumed.
+Instances come from the scenario generator's shared two-phase builder (via
+``tests/strategies.py``): keys are unique by construction, foreign keys
+reference existing rows (or draw null when the attribute is nullable),
+nullable attributes may draw null — so every generated instance is valid by
+construction, asserted, not assumed.
 """
 
 from __future__ import annotations
@@ -29,11 +28,10 @@ from repro.analysis.certify import PROVED, certify_program
 from repro.core.pipeline import MappingSystem
 from repro.datalog.engine import evaluate
 from repro.datalog.exec import evaluate_batch
-from repro.model.instance import Instance
 from repro.model.validation import validate_instance
-from repro.model.values import NULL
 from repro.scenarios import bundled_problems
 
+from .strategies import draw_valid_instance
 from .test_certify import BROKEN_FIXTURES
 
 SCENARIOS = sorted(bundled_problems())
@@ -49,50 +47,6 @@ def system_for(name: str) -> MappingSystem:
     return _SYSTEMS[name]
 
 
-def draw_source_instance(draw, schema) -> Instance:
-    """A random *valid* source instance: unique keys, resolved FKs."""
-    referenced_by = {
-        (fk.relation, fk.attribute): fk.referenced for fk in schema.foreign_keys
-    }
-    rows_per_relation = {
-        relation.name: draw(st.integers(1, 3)) for relation in schema
-    }
-
-    def key_value(relation_name: str, attribute: str, i: int) -> str:
-        return f"{relation_name}.{attribute}.k{i}"
-
-    instance = Instance(schema)
-    for relation in schema:
-        key_attrs = set(relation.key)
-        key_positions = relation.key_positions()
-        seen_keys = set()
-        for i in range(rows_per_relation[relation.name]):
-            row = []
-            for attribute in relation.attributes:
-                referenced = referenced_by.get((relation.name, attribute.name))
-                if referenced is not None:
-                    if attribute.nullable and draw(st.booleans()):
-                        row.append(NULL)
-                        continue
-                    ref_key = schema.relation(referenced).key[0]
-                    j = draw(
-                        st.integers(0, rows_per_relation[referenced] - 1)
-                    )
-                    row.append(key_value(referenced, ref_key, j))
-                elif attribute.name in key_attrs:
-                    row.append(key_value(relation.name, attribute.name, i))
-                elif attribute.nullable and draw(st.booleans()):
-                    row.append(NULL)
-                else:
-                    row.append(draw(st.sampled_from(("u", "v", "w"))))
-            key = tuple(row[p] for p in key_positions)
-            if key in seen_keys:
-                continue  # drop rather than repair: keys stay unique
-            seen_keys.add(key)
-            instance.add(relation.name, tuple(row))
-    return instance
-
-
 @pytest.mark.parametrize("name", SCENARIOS)
 @settings(max_examples=10, deadline=None)
 @given(data=st.data())
@@ -102,7 +56,7 @@ def test_proved_constraints_never_violated(name, data):
     report = system.certify()
     assert report.ok and all(v.verdict == PROVED for v in report.verdicts)
 
-    source = draw_source_instance(data.draw, system.problem.source_schema)
+    source = draw_valid_instance(data.draw, system.problem.source_schema, rows=(1, 3))
     assert validate_instance(source).ok, "generator must produce valid input"
 
     program = system.compile()

@@ -340,6 +340,16 @@ class TestAnalyzeCost:
         assert report.max_degree() == 1
         assert not report.findings
 
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_scenarios_are_bounded(self, seed):
+        """Seeded weakly acyclic scenarios never trip the cost gate."""
+        from repro.scenarios.generator import generate_scenario
+
+        scenario = generate_scenario(seed)
+        system = MappingSystem(scenario.problem)
+        report = analyze_cost(system.transformation, subject=scenario.name)
+        assert report.bounded
+
     def test_derived_bounds_mention_source_sizes_only(self):
         system = MappingSystem(bundled_problems()["figure-1"])
         report = analyze_cost(system.transformation, subject="figure-1")

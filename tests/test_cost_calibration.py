@@ -41,7 +41,7 @@ from repro.model.instance import Instance
 from repro.model.validation import validate_instance
 from repro.scenarios import bundled_problems
 
-from .test_certify_soundness import draw_source_instance
+from .strategies import draw_valid_instance
 from .test_explain_analyze import synthetic_source
 
 SCENARIOS = sorted(bundled_problems())
@@ -161,7 +161,7 @@ def test_reference_rows_bounded_on_every_scenario(name):
 def test_fuzzed_instances_never_exceed_bounds(name, data):
     """Property: no valid source instance beats any static bound."""
     system = system_for(name)
-    source = draw_source_instance(data.draw, system.problem.source_schema)
+    source = draw_valid_instance(data.draw, system.problem.source_schema, rows=(1, 3))
     assert validate_instance(source).ok, "generator must produce valid input"
     program = system.transformation
     facts = facts_for(name)

@@ -6,7 +6,9 @@ must agree with it — identical target instances up to LabeledNull
 isomorphism (`repro.model.diff.diff_up_to_invented`) — on:
 
 * every bundled scenario's canonical instances (the frozen per-rule source
-  instances the semantic verifier builds), and
+  instances the semantic verifier builds),
+* a sample of seeded generated scenarios with their paired random source
+  instances (``repro.scenarios.generator``), and
 * the synthetic CARS workloads the scaling benchmarks sweep.
 
 The batch engine must also reproduce the reference engine's intermediate
@@ -25,6 +27,7 @@ from repro.datalog.exec import evaluate_batch
 from repro.model.diff import diff_up_to_invented
 from repro.scenarios import bundled_problems
 from repro.scenarios.cars import figure1_problem, figure12_problem, figure14_problem
+from repro.scenarios.generator import generate_scenario
 from repro.scenarios.synthetic import cars2_instance, cars3_instance, cars4_instance
 from repro.sqlgen.executor import duckdb_available, run_on_duckdb, run_on_sqlite
 
@@ -75,6 +78,16 @@ class TestBundledScenarios:
             _assert_agreement(program, instance, f"{name} / {label}")
             checked += 1
         assert checked > 0, f"no canonical instance for {name!r}"
+
+
+class TestGeneratedScenarios:
+    """All engines agree on generated scenarios' paired random instances."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_scenarios_agree(self, seed):
+        scenario = generate_scenario(seed)
+        program = MappingSystem(scenario.problem).transformation
+        _assert_agreement(program, scenario.source_instance, scenario.name)
 
 
 #: (label, problem factory, instance factory) — the scaling workloads.

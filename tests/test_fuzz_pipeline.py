@@ -4,87 +4,28 @@ For arbitrary (small) problems over a fixed schema pool, the pipeline must
 either signal one of the paper's two errors (non-functional mapping, hard
 key conflict) or produce a transformation whose output satisfies every
 target constraint and agrees between the Datalog engine and SQLite.
+
+The problem and instance strategies live in ``tests/strategies.py``; the
+instances come from the scenario generator's shared two-phase builder.
 """
 
 from __future__ import annotations
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
-from repro.core.pipeline import MappingProblem, MappingSystem
+from repro.core.pipeline import MappingSystem
 from repro.datalog.engine import evaluate
 from repro.datalog.exec import evaluate_batch
 from repro.errors import HardKeyConflictError, NonFunctionalMappingError
-from repro.model.builder import SchemaBuilder
 from repro.model.diff import diff_up_to_invented
-from repro.model.instance import Instance
 from repro.model.validation import validate_instance
-from repro.model.values import NULL
 from repro.sqlgen.executor import run_on_sqlite
 
-
-def _source_schema():
-    return (
-        SchemaBuilder("fuzz-src")
-        .relation("S1", "k", "a", "b?")
-        .relation("S2", "k", "c")
-        .relation("S3", "k", "ref?", "d")
-        .foreign_key("S3", "ref", "S1")
-        .build()
-    )
-
-
-def _target_schema():
-    return (
-        SchemaBuilder("fuzz-tgt")
-        .relation("T1", "k", "x?", "y")
-        .relation("T2", "k", "z?")
-        .build()
-    )
-
-
-_SOURCE_ATTRS = [
-    "S1.k", "S1.a", "S1.b", "S2.k", "S2.c", "S3.k", "S3.d",
-    "S3.ref > S1.a", "S3.ref > S1.b",
-]
-_TARGET_ATTRS = ["T1.k", "T1.x", "T1.y", "T2.k", "T2.z"]
-
-
-@st.composite
-def problems(draw):
-    pairs = draw(
-        st.lists(
-            st.tuples(st.sampled_from(_SOURCE_ATTRS), st.sampled_from(_TARGET_ATTRS)),
-            min_size=1,
-            max_size=6,
-            unique=True,
-        )
-    )
-    problem = MappingProblem(_source_schema(), _target_schema(), name="fuzz")
-    for source, target in pairs:
-        problem.add_correspondence(source, target)
-    return problem
-
-
-@st.composite
-def instances(draw):
-    instance = Instance(_source_schema())
-    n = draw(st.integers(min_value=0, max_value=4))
-    for i in range(n):
-        b = draw(st.sampled_from(["b0", "b1", None]))
-        instance.add("S1", (f"k{i}", f"a{i % 2}", NULL if b is None else b))
-    for i in range(draw(st.integers(0, 3))):
-        instance.add("S2", (f"k{i}", f"c{i}"))
-    for i in range(draw(st.integers(0, 3))):
-        ref = draw(st.sampled_from(list(range(n)) + [None])) if n else None
-        instance.add(
-            "S3",
-            (f"k{i}", NULL if ref is None else f"k{ref}", f"d{i}"),
-        )
-    return instance
+from .strategies import fuzz_instances, fuzz_problems
 
 
 @settings(max_examples=60, deadline=None)
-@given(problems(), instances())
+@given(fuzz_problems(), fuzz_instances())
 def test_pipeline_is_safe_on_random_problems(problem, source):
     try:
         system = MappingSystem(problem)
@@ -96,7 +37,7 @@ def test_pipeline_is_safe_on_random_problems(problem, source):
 
 
 @settings(max_examples=200, deadline=None)
-@given(problems(), instances())
+@given(fuzz_problems(), fuzz_instances())
 def test_batch_engine_agrees_with_reference(problem, source):
     """Differential property: the batch runtime is observationally equal to
     the reference interpreter on random problems and instances — identical
@@ -120,7 +61,7 @@ def test_batch_engine_agrees_with_reference(problem, source):
 
 
 @settings(max_examples=40, deadline=None)
-@given(problems(), instances())
+@given(fuzz_problems(), fuzz_instances())
 def test_subsumption_optimization_preserves_semantics(problem, source):
     """``remove_subsumed_rules`` must never change what the engine computes."""
     try:
@@ -135,7 +76,7 @@ def test_subsumption_optimization_preserves_semantics(problem, source):
 
 
 @settings(max_examples=40, deadline=None)
-@given(problems())
+@given(fuzz_problems())
 def test_generation_is_deterministic(problem):
     def signature():
         try:

@@ -58,6 +58,19 @@ class TestRoundTripProofs:
         assert report.ok
         assert not report.findings
 
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_scenarios_all_proved(self, seed):
+        """Weakly acyclic generated scenarios certify like the bundled ones."""
+        from repro.scenarios.generator import generate_scenario
+
+        scenario = generate_scenario(seed)
+        program = MappingSystem(scenario.problem).transformation
+        report = check_program(program, subject=scenario.name)
+        assert report.verdicts
+        assert report.ok, "\n".join(
+            v.render() for v in report.verdicts if v.verdict != PROVED
+        )
+
     def test_proved_verdicts_carry_both_witnesses(self):
         report = check_program(_program("figure-1"), subject="figure-1")
         for verdict in report.verdicts:
